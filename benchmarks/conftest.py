@@ -1,0 +1,38 @@
+"""Shared benchmark harness utilities.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index). The experiment body runs
+exactly once inside ``benchmark.pedantic``; the printed tables are the
+reproduced rows/series, and the accompanying assertions pin the *shape* of
+the result (orderings, rough factors) rather than absolute numbers.
+
+Results are also dumped as JSON under ``.cache/bench_results/`` so
+EXPERIMENTS.md can cite measured values.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / ".cache" / "bench_results"
+
+
+def run_experiment(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def save_result(name: str, payload: dict) -> None:
+    """Persist an experiment's measured numbers for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
+
+@pytest.fixture(scope="session")
+def image_eval_frames():
+    """Shared playback frames for the image experiments."""
+    from repro.zoo.registry import image_dataset
+    return image_dataset().sample(400, "bench-eval")

@@ -1,0 +1,16 @@
+"""Debugging target: latency & memory — WITH ML-EXray (Table 1 row 3)."""
+
+
+def instrument(monitor, interpreter, inputs):
+    monitor.attach(interpreter)
+    monitor.on_inf_start()
+    interpreter.invoke(inputs)
+    monitor.on_inf_stop(interpreter)
+
+
+def assertion(ctx):
+    from repro.util.errors import AssertionFailure
+    if ctx.edge_log.mean_latency_ms() > 33.0:
+        raise AssertionFailure("latency", "frame budget exceeded")
+    if ctx.edge_log.peak_memory_mb() > 64.0:
+        raise AssertionFailure("memory", "memory budget exceeded")

@@ -1,0 +1,28 @@
+"""Debugging target: quantization — WITH ML-EXray (Table 1 row 2).
+
+Per-layer logging is one monitor flag; the assertion consumes the
+already-computed per-layer diffs.
+"""
+
+from repro.instrument import MLEXray
+from repro.util.errors import AssertionFailure
+from repro.validate import locate_discrepancies, per_layer_diff
+
+
+def instrument(interpreter, inputs):
+    monitor = MLEXray("edge", per_layer=True)
+    monitor.attach(interpreter)
+    monitor.on_inf_start()
+    interpreter.invoke(inputs)
+    monitor.on_inf_stop(interpreter)
+
+
+def assertion(ctx):
+    diffs = per_layer_diff(ctx.edge_log, ctx.ref_log)
+    flagged = locate_discrepancies(diffs, threshold=0.1)
+    if flagged:
+        worst = max(flagged, key=lambda d: d.error)
+        raise AssertionFailure(
+            "quantization",
+            f"op {worst.op} at layer {worst.index} drifts {worst.error:.3f}",
+        )

@@ -1,0 +1,37 @@
+"""Debugging target: latency & memory — WITHOUT ML-EXray (Table 1 row 3)."""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def instrument(interpreter, inputs, out_dir, frames=1):
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    records = []
+    for step in range(frames):
+        start = time.perf_counter()
+        interpreter.invoke(inputs)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        weights_mb = interpreter.weights_bytes() / 2**20
+        arena_mb = interpreter.last_peak_activation_bytes / 2**20
+        records.append({
+            "step": step,
+            "latency_ms": elapsed_ms,
+            "memory_mb": weights_mb + arena_mb,
+        })
+    (out_dir / "perf.json").write_text(json.dumps(records))
+    return records
+
+
+def assertion(log_dir, latency_budget_ms=33.0, memory_budget_mb=64.0):
+    records = json.loads((Path(log_dir) / "perf.json").read_text())
+    latencies = np.array([r["latency_ms"] for r in records])
+    memories = np.array([r["memory_mb"] for r in records])
+    if latencies.mean() > latency_budget_ms:
+        raise AssertionError(
+            f"mean latency {latencies.mean():.1f}ms over budget")
+    if memories.max() > memory_budget_mb:
+        raise AssertionError(f"peak memory {memories.max():.1f}MB over budget")

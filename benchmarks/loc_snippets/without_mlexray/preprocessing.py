@@ -1,0 +1,54 @@
+"""Debugging target: preprocessing — WITHOUT ML-EXray (Table 1 row 1).
+
+The developer hand-rolls per-frame capture of the preprocessing output,
+serialization, and log alignment before they can even compare anything.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def instrument(out_dir, extract_channels, frames):
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    index = []
+    originals = {}
+
+    def wrapped(frame, step):
+        out = extract_channels(frame)
+        path = out_dir / f"preprocess_{step:06d}.npy"
+        np.save(path, out)
+        originals[step] = frame.shape
+        index.append({
+            "step": step,
+            "file": path.name,
+            "input_shape": list(frame.shape),
+            "output_shape": list(out.shape),
+            "dtype": str(out.dtype),
+        })
+        return out
+
+    outputs = []
+    for step, frame in enumerate(frames):
+        outputs.append(wrapped(frame, step))
+    (out_dir / "index.json").write_text(json.dumps(index))
+    return outputs
+
+
+def assertion(edge_dir, ref_dir):
+    edge_index = json.loads((Path(edge_dir) / "index.json").read_text())
+    ref_index = json.loads((Path(ref_dir) / "index.json").read_text())
+    if len(edge_index) != len(ref_index):
+        raise AssertionError("log lengths differ; cannot align frames")
+    for edge_rec, ref_rec in zip(edge_index, ref_index):
+        edge = np.load(Path(edge_dir) / edge_rec["file"])
+        ref = np.load(Path(ref_dir) / ref_rec["file"])
+        if edge.shape != ref.shape:
+            raise AssertionError(f"shape mismatch at step {edge_rec['step']}")
+        if np.allclose(edge, ref):
+            continue
+        if np.allclose(edge[..., ::-1], ref):
+            raise AssertionError("BGR->RGB")
+        raise AssertionError(f"outputs differ at step {edge_rec['step']}")

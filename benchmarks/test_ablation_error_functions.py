@@ -1,0 +1,69 @@
+"""Ablation: the choice of per-layer error function (DESIGN.md §5).
+
+The paper normalizes rMSE by the layer output scale because "rMSE normalized
+by scale tends to have a positive correlation with numerical deviation" and
+is comparable across layers. We quantify that: for the quantized-with-bug
+MobileNet v2 run, normalized rMSE cleanly separates the buggy layer from
+benign quantization drift, whereas raw rMSE ranks layers by output
+magnitude and can bury the bug.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro import MLEXray, EdgeApp
+from repro.kernels.quantized import PAPER_OPTIMIZED_BUGS
+from repro.pipelines import build_reference_app
+from repro.runtime import OpResolver
+from repro.util.tabulate import format_table
+from repro.validate import per_layer_diff
+from repro.zoo import get_model
+from repro.zoo.registry import image_dataset
+
+
+def test_ablation_error_functions(benchmark):
+    frames, labels = image_dataset().sample(12, "bench-ablation-err")
+
+    def experiment():
+        quant = get_model("micro_mobilenet_v2", "quantized")
+        mobile = get_model("micro_mobilenet_v2", "mobile")
+        edge = EdgeApp(quant, resolver=OpResolver(bugs=PAPER_OPTIMIZED_BUGS),
+                       monitor=MLEXray("edge", per_layer=True))
+        edge.run(frames, labels)
+        ref = build_reference_app(mobile)
+        ref.run(frames, labels)
+        series = {}
+        for fn in ("nrmse", "rmse", "max_abs", "cosine"):
+            series[fn] = per_layer_diff(edge.log(), ref.log(), error_fn=fn)
+        return series
+
+    series = run_experiment(benchmark, experiment)
+    dw_index = next(d.index for d in series["nrmse"]
+                    if d.op == "depthwise_conv2d")
+    rows = []
+    for fn, diffs in series.items():
+        errors = np.array([d.error for d in diffs])
+        # How prominent is the buggy layer relative to the layer before it?
+        jump = errors[dw_index] / max(errors[dw_index - 1], 1e-9)
+        argmax_layer = diffs[int(errors.argmax())].layer
+        rows.append((fn, f"{errors[dw_index]:.4f}", f"{jump:.1f}x",
+                     argmax_layer))
+    print()
+    print(format_table(
+        ("error fn", "value@buggy layer", "jump vs prev layer", "argmax layer"),
+        rows, title="Ablation: per-layer error functions"))
+    save_result("ablation_error_functions", {
+        fn: [(d.layer, d.error) for d in diffs]
+        for fn, diffs in series.items()})
+
+    nrmse = np.array([d.error for d in series["nrmse"]])
+    # nrMSE flags the buggy layer with a sharp jump...
+    assert nrmse[dw_index] > 3 * nrmse[dw_index - 1]
+    # ...and it is comparable across layers: everything upstream is small.
+    assert nrmse[:dw_index].max() < 0.1
+    # Raw rMSE depends on layer output scale: its cross-layer ordering
+    # disagrees with nrMSE somewhere (it is not scale-comparable).
+    rmse_vals = np.array([d.error for d in series["rmse"]])
+    order_nrmse = np.argsort(nrmse)
+    order_rmse = np.argsort(rmse_vals)
+    assert not np.array_equal(order_nrmse, order_rmse)

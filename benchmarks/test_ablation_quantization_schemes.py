@@ -1,0 +1,79 @@
+"""Ablation: quantization scheme choices from §2.
+
+Three design choices the paper discusses, quantified on micro-MobileNet-v2:
+
+* **per-channel vs per-tensor weights** — after BN folding, channel scales
+  differ wildly; per-tensor quantization "can squash the entire channel to
+  0" and costs accuracy;
+* **symmetric vs asymmetric activations** — symmetric wastes half the int8
+  range on ReLU-family activations;
+* **calibration pathologies** — an outlier in the representative dataset
+  inflates the scale (resolution loss); a tiny calibration set clips normal
+  activations. The percentile calibrator recovers the outlier case.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.convert import QuantizationConfig, quantize_graph
+from repro.metrics import top_1_accuracy
+from repro.runtime import Interpreter
+from repro.util.tabulate import format_table
+from repro.zoo import calibration_batches, eval_data, get_model
+
+MODEL = "micro_mobilenet_v2"
+
+
+def accuracy_of(graph, x, labels):
+    return top_1_accuracy(Interpreter(graph).invoke_single(x), labels)
+
+
+def test_ablation_quantization_schemes(benchmark):
+    def experiment():
+        x, labels = eval_data(MODEL, 300)
+        mobile = get_model(MODEL, "mobile")
+        calib = calibration_batches(MODEL)
+        results = {"float baseline": accuracy_of(mobile, x, labels)}
+
+        variants = {
+            "per-channel, asymmetric (default)": QuantizationConfig(),
+            "per-tensor weights": QuantizationConfig(per_channel_weights=False),
+            "symmetric activations": QuantizationConfig(
+                symmetric_activations=True),
+        }
+        for label, config in variants.items():
+            q = quantize_graph(mobile, calib, config)
+            results[label] = accuracy_of(q, x, labels)
+
+        # Calibration pathologies (§2 "scale calibration").
+        outlier_calib = [batch.copy() for batch in calib]
+        outlier_calib[0][0, 0, 0, 0] = 500.0  # one wild sensor glitch
+        q = quantize_graph(mobile, outlier_calib, QuantizationConfig())
+        results["outlier calibration (minmax)"] = accuracy_of(q, x, labels)
+        q = quantize_graph(mobile, outlier_calib, QuantizationConfig(
+            calibration_mode="percentile", percentile=99.5))
+        results["outlier calibration (percentile)"] = accuracy_of(q, x, labels)
+
+        tiny_calib = [calib[0][:2]]  # 2 samples: under-covered ranges
+        q = quantize_graph(mobile, tiny_calib, QuantizationConfig())
+        results["2-sample calibration"] = accuracy_of(q, x, labels)
+        return results
+
+    results = run_experiment(benchmark, experiment)
+    print()
+    print(format_table(("scheme", "top-1"),
+                       [(k, f"{v:.3f}") for k, v in results.items()],
+                       title="Ablation: quantization schemes (micro-MobileNet-v2)"))
+    save_result("ablation_quantization", results)
+
+    default = results["per-channel, asymmetric (default)"]
+    # Default scheme is within a few points of float.
+    assert results["float baseline"] - default < 0.05
+    # Per-tensor weights and symmetric activations are no better than the
+    # default (and typically worse — §2's motivation).
+    assert results["per-tensor weights"] <= default + 0.01
+    assert results["symmetric activations"] <= default + 0.01
+    # The outlier wrecks minmax calibration; percentile recovers most of it.
+    assert results["outlier calibration (minmax)"] < default - 0.05
+    assert (results["outlier calibration (percentile)"]
+            > results["outlier calibration (minmax)"] + 0.03)

@@ -1,0 +1,124 @@
+"""Appendix A: tasks where big internal diffs do NOT move the metric.
+
+Three paper observations:
+
+* **NNLM case sensitivity** — lowercasing the input moves tokens to
+  different embedding rows, so the embedding output is drastically
+  different, yet sentiment accuracy is (essentially) unchanged;
+* **segmentation** — preprocessing bugs perturb per-layer outputs but mIoU
+  barely moves (class signal is shape, not color);
+* **EfficientDet-style in-graph preprocessing** — normalization lives in
+  the model graph, so the normalization bug class cannot occur at all.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.metrics import mean_iou, top_1_accuracy
+from repro.pipelines import EdgeApp, make_preprocess
+from repro.runtime import Interpreter
+from repro.util.tabulate import format_table
+from repro.zoo import eval_data, get_model
+from repro.zoo.registry import segmentation_dataset, text_dataset
+
+
+def test_nnlm_lowercase_changes_embeddings_not_accuracy(benchmark):
+    def experiment():
+        ds = text_dataset()
+        reviews, labels = ds.sample_tokens(400, "bench-appendix")
+        raw_ids = np.stack([ds.encode(r) for r in reviews])
+        low_ids = np.stack([ds.encode(r, lowercase=True) for r in reviews])
+        graph = get_model("nnlm_lite", "mobile")
+        interp = Interpreter(graph)
+        # Capture the embedding layer output for both variants.
+        captured = {}
+        interp.add_observer(
+            lambda rec: captured.__setitem__(rec.node.name, rec.output.copy()))
+        raw_out = interp.invoke_single(raw_ids)
+        raw_emb = captured["emb"].copy()
+        low_out = interp.invoke_single(low_ids)
+        low_emb = captured["emb"].copy()
+        emb_change = float(np.abs(raw_emb - low_emb).mean()
+                           / (np.abs(raw_emb).mean() + 1e-9))
+        return {
+            "embedding_rel_change": emb_change,
+            "acc_raw": top_1_accuracy(raw_out, labels),
+            "acc_lower": top_1_accuracy(low_out, labels),
+        }
+
+    r = run_experiment(benchmark, experiment)
+    print()
+    print(format_table(("metric", "value"), [
+        ("embedding relative change", f"{r['embedding_rel_change']:.2f}"),
+        ("accuracy (raw case)", f"{r['acc_raw']:.3f}"),
+        ("accuracy (lowercased)", f"{r['acc_lower']:.3f}"),
+    ], title="Appendix A: NNLM case-sensitivity"))
+    save_result("appendixA_nnlm", r)
+
+    # Embeddings change drastically (~30% of tokens remap to different
+    # vocabulary rows); accuracy is essentially unchanged.
+    assert r["embedding_rel_change"] > 0.15
+    assert abs(r["acc_raw"] - r["acc_lower"]) < 0.05
+    assert r["acc_raw"] > 0.85
+
+
+def test_segmentation_miou_robust_to_channel_bug(benchmark):
+    def experiment():
+        frames, masks = segmentation_dataset().sample(120, "bench-appendix")
+        graph = get_model("deeplab_lite", "mobile")
+        results = {}
+        for label, override in (("correct", {}),
+                                ("channel_bgr", {"channel_order": "bgr"}),
+                                ("resize_bilinear",
+                                 {"resize_method": "bilinear"})):
+            app = EdgeApp(graph, preprocess=make_preprocess(
+                graph.metadata["pipeline"], override), device=None)
+            logits = app.run_batched(frames)
+            results[label] = mean_iou(logits.argmax(-1), masks, 4)
+        return results
+
+    r = run_experiment(benchmark, experiment)
+    print()
+    print(format_table(("pipeline", "mIoU"),
+                       [(k, f"{v:.3f}") for k, v in r.items()],
+                       title="Appendix A: segmentation under preprocessing bugs"))
+    save_result("appendixA_segmentation", r)
+
+    # Class signal is shape-based: bugs cost little mIoU ("not significantly
+    # changed"), in contrast to the classification drops of Fig 4(a).
+    assert r["correct"] > 0.55
+    assert r["correct"] - r["channel_bgr"] < 0.1
+    assert r["correct"] - r["resize_bilinear"] < 0.1
+
+
+def test_effdet_in_graph_preprocessing_immune(benchmark):
+    def experiment():
+        x, labels = eval_data("effdet_lite", 300)
+        graph = get_model("effdet_lite", "mobile")
+        # effdet's app-side recipe is plain [0,1]; normalization happens
+        # inside the graph. The classic mistake — app normalizes to [-1,1]
+        # on top — cannot silently occur because there IS no app-side
+        # normalization step to get wrong; the only way to break it is to
+        # bypass the documented recipe entirely.
+        correct = top_1_accuracy(Interpreter(graph).invoke_single(x), labels)
+        # Contrast with a conventional model where the same recipe confusion
+        # (feeding [0,1] into a [-1,1] model) silently degrades accuracy.
+        conv_graph = get_model("micro_mobilenet_v2", "mobile")
+        xc, labels_c = eval_data("micro_mobilenet_v2", 300)
+        conv_correct = top_1_accuracy(
+            Interpreter(conv_graph).invoke_single(xc), labels_c)
+        conv_bugged = top_1_accuracy(
+            Interpreter(conv_graph).invoke_single((xc + 1.0) / 2.0), labels_c)
+        return {"effdet_in_graph": correct,
+                "conventional_correct": conv_correct,
+                "conventional_norm_bug": conv_bugged}
+
+    r = run_experiment(benchmark, experiment)
+    print()
+    print(format_table(("configuration", "top-1"),
+                       [(k, f"{v:.3f}") for k, v in r.items()],
+                       title="Appendix A: in-graph preprocessing defence"))
+    save_result("appendixA_effdet", r)
+
+    assert r["effdet_in_graph"] > 0.85
+    assert (r["conventional_correct"] - r["conventional_norm_bug"]) > 0.1

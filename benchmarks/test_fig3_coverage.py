@@ -1,0 +1,63 @@
+"""Figure 3: the task x model x assertion coverage matrix.
+
+The paper's Figure 3 summarizes which tasks, models, and assertion families
+the framework covers. We regenerate it from the live registries: every zoo
+task must have a default assertion suite, every model must expose a correct
+pipeline recipe, and the universal checks (quantization health, system
+metrics) must apply everywhere.
+"""
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.util.tabulate import format_table
+from repro.validate import default_assertions
+from repro.zoo import get_entry, list_models
+
+TASK_ORDER = ("classification", "detection", "segmentation", "speech", "text")
+
+
+def test_fig3_coverage_matrix(benchmark):
+    def experiment():
+        matrix = {}
+        for name in list_models():
+            entry = get_entry(name)
+            checks = sorted(a.name for a in default_assertions(entry.task))
+            matrix[name] = {
+                "family": entry.family,
+                "task": entry.task,
+                "assertions": checks,
+            }
+        return matrix
+
+    matrix = run_experiment(benchmark, experiment)
+    all_checks = sorted({c for row in matrix.values()
+                         for c in row["assertions"]})
+    rows = []
+    for task in TASK_ORDER:
+        models = [n for n, r in matrix.items() if r["task"] == task]
+        for name in sorted(models):
+            marks = tuple("x" if c in matrix[name]["assertions"] else ""
+                          for c in all_checks)
+            rows.append((task, name, matrix[name]["family"]) + marks)
+    print()
+    print(format_table(("task", "model", "paper family") + tuple(all_checks),
+                       rows, title="Figure 3: coverage matrix"))
+    save_result("fig3", matrix)
+
+    # Every task has models and assertions; universal checks apply everywhere.
+    tasks = {r["task"] for r in matrix.values()}
+    assert set(TASK_ORDER) <= tasks
+    for row in matrix.values():
+        assert "quantization_health" in row["assertions"]
+        assert "per_layer_latency" in row["assertions"]
+    # Image-family tasks carry all four preprocessing checks.
+    for name, row in matrix.items():
+        if row["task"] in ("classification", "detection", "segmentation"):
+            assert {"channel_arrangement", "normalization_range",
+                    "orientation"} <= set(row["assertions"])
+    # Speech carries the spectrogram check.
+    speech_rows = [r for r in matrix.values() if r["task"] == "speech"]
+    assert all("spectrogram_normalization" in r["assertions"]
+               for r in speech_rows)
+    # 14 models across 5 task families, 12+ paper model families.
+    assert len(matrix) == 14
+    assert len({r["family"] for r in matrix.values()}) >= 12

@@ -1,0 +1,88 @@
+"""Figure 4(a): preprocessing-bug impact on image-classification top-1.
+
+Paper result (ImageNet, real models): relative to a correct mobile float
+baseline, a wrong resize function costs 1-3 points, BGR/RGB mix-up 7-19,
+normalization mismatch up to ~20, and a 90-degree rotation 21-39 — the most
+severe. We regenerate the same bars for the six micro image classifiers.
+
+Shape assertions: rotation is the most damaging bug on average, resize the
+least; channel and normalization sit in between; every bug hurts.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.metrics import top_1_accuracy
+from repro.pipelines import EdgeApp, make_preprocess
+from repro.util.tabulate import format_table
+from repro.zoo import IMAGE_CLASSIFIERS, get_model
+
+BUGS = ("Mobile (baseline)", "Resize", "Channel", "Normalization", "Rotation")
+
+
+def bug_overrides(correct_recipe: dict) -> dict[str, dict]:
+    """Per-model bug injections, each flipping the model's *correct* recipe.
+
+    This matters because the models have different input conventions —
+    Inception expects BGR, DenseNet expects [0,1] (§1/§3.2) — and "the bug"
+    is always using the *other* convention.
+    """
+    other_channel = "rgb" if correct_recipe["channel_order"] == "bgr" else "bgr"
+    other_norm = "[0,1]" if correct_recipe["normalization"] == "[-1,1]" else "[-1,1]"
+    return {
+        "Mobile (baseline)": {},
+        "Resize": {"resize_method": "bilinear"},
+        "Channel": {"channel_order": other_channel},
+        "Normalization": {"normalization": other_norm},
+        "Rotation": {"rotation_k": 1},
+    }
+
+
+def evaluate_model(name: str, frames, labels) -> dict[str, float]:
+    graph = get_model(name, stage="mobile")
+    overrides = bug_overrides(graph.metadata["pipeline"]["image_preprocess"])
+    scores = {}
+    for bug in BUGS:
+        app = EdgeApp(
+            graph,
+            preprocess=make_preprocess(graph.metadata["pipeline"],
+                                       overrides[bug]),
+            device=None,
+        )
+        outputs = app.run_batched(frames)
+        scores[bug] = top_1_accuracy(outputs, labels)
+    return scores
+
+
+def test_fig4a_preprocessing_bug_impact(benchmark, image_eval_frames):
+    frames, labels = image_eval_frames
+
+    def experiment():
+        return {name: evaluate_model(name, frames, labels)
+                for name in IMAGE_CLASSIFIERS}
+
+    results = run_experiment(benchmark, experiment)
+
+    headers = ("model",) + tuple(BUGS)
+    rows = [(name,) + tuple(f"{results[name][bug]:.3f}" for bug in BUGS)
+            for name in IMAGE_CLASSIFIERS]
+    print()
+    print(format_table(headers, rows,
+                       title="Figure 4(a): top-1 under preprocessing bugs"))
+    save_result("fig4a", results)
+
+    drops = {bug: np.mean([results[m]["Mobile (baseline)"] - results[m][bug]
+                           for m in IMAGE_CLASSIFIERS])
+             for bug in BUGS if bug != "Mobile (baseline)"}
+    print("mean top-1 drop per bug:",
+          {k: round(v, 3) for k, v in drops.items()})
+
+    # Shape: rotation most severe, resize least severe (paper ordering).
+    assert drops["Rotation"] == max(drops.values())
+    assert drops["Resize"] == min(drops.values())
+    # Every bug costs accuracy on average; rotation is paper-scale severe.
+    assert all(v > 0 for v in drops.values())
+    assert drops["Rotation"] > 0.2
+    # Baselines are healthy models (>85% top-1).
+    assert all(results[m]["Mobile (baseline)"] > 0.85
+               for m in IMAGE_CLASSIFIERS)

@@ -1,0 +1,73 @@
+"""Figure 4(b): preprocessing-bug impact on detection mAP (SSD, FasterRCNN).
+
+Paper result (COCO): channel misarrangement and erroneous normalization
+lower mAP by up to ~4 points, while a different resizing function changes
+mAP by only ~0.1 — detection is far less resize-sensitive than
+classification because localization relies on coarse structure.
+
+Shape assertions: channel/normalization hurt more than resize for both
+detectors; resize impact is small.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.metrics import mean_average_precision
+from repro.pipelines import EdgeApp, make_preprocess
+from repro.pipelines.detection import decode_predictions
+from repro.util.tabulate import format_table
+from repro.zoo import get_model
+from repro.zoo.registry import detection_dataset
+
+BUGS = {
+    "Mobile (baseline)": {},
+    "Resize": {"resize_method": "bilinear"},
+    "Channel": {"channel_order": "bgr"},
+    "Normalization": {"normalization": "[0,1]"},
+}
+
+MODELS = ("ssd_lite", "frcnn_lite")
+
+
+def evaluate(name: str, frames, gt) -> dict[str, float]:
+    graph = get_model(name, stage="mobile")
+    out = {}
+    for bug, override in BUGS.items():
+        app = EdgeApp(
+            graph,
+            preprocess=make_preprocess(graph.metadata["pipeline"], override),
+            device=None,
+        )
+        heads = app.run_batched(frames)
+        decoded = decode_predictions(heads, 4, 48)
+        out[bug] = mean_average_precision(decoded, gt, 4)
+    return out
+
+
+def test_fig4b_detection_map_under_bugs(benchmark):
+    frames, anns = detection_dataset().sample(200, "bench-det")
+    gt = [[(a.label, a.box) for a in img] for img in anns]
+
+    def experiment():
+        return {name: evaluate(name, frames, gt) for name in MODELS}
+
+    results = run_experiment(benchmark, experiment)
+    headers = ("model",) + tuple(BUGS)
+    rows = [(name,) + tuple(f"{results[name][b]:.3f}" for b in BUGS)
+            for name in MODELS]
+    print()
+    print(format_table(headers, rows,
+                       title="Figure 4(b): detection mAP under preprocessing bugs"))
+    save_result("fig4b", results)
+
+    for name in MODELS:
+        r = results[name]
+        base = r["Mobile (baseline)"]
+        assert base > 0.4
+        resize_drop = base - r["Resize"]
+        channel_drop = base - r["Channel"]
+        norm_drop = base - r["Normalization"]
+        # Shape: resize is the mildest bug; channel/normalization dominate.
+        assert resize_drop <= min(channel_drop, norm_drop)
+        assert max(channel_drop, norm_drop) > 0.02
+        assert abs(resize_drop) < 0.15

@@ -1,0 +1,55 @@
+"""Figure 4(c): speech-command accuracy under spectrogram-normalization bugs.
+
+Paper result: two speech models from different training pipelines; feeding
+either model features normalized with the *other* pipeline's convention
+significantly hurts recognition accuracy ("mismatching spectrogram
+normalization can significantly hurt these speech models").
+
+Shape assertions: both models lose large accuracy under the swapped
+convention; both baselines are strong.
+"""
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.metrics import top_1_accuracy
+from repro.pipelines import EdgeApp, make_preprocess
+from repro.util.tabulate import format_table
+from repro.zoo import get_model
+from repro.zoo.registry import speech_dataset
+
+MODELS = ("speech_cnn_a", "speech_cnn_b")
+
+
+def test_fig4c_speech_normalization(benchmark):
+    waves, labels = speech_dataset().sample(400, "bench-speech")
+
+    def experiment():
+        results = {}
+        for name in MODELS:
+            graph = get_model(name, stage="mobile")
+            correct = graph.metadata["pipeline"]["spectrogram_normalization"]
+            wrong = "per_utterance" if correct == "global_db" else "global_db"
+            row = {}
+            for label, norm in (("correct", correct), ("mismatched", wrong)):
+                app = EdgeApp(graph, preprocess=make_preprocess(
+                    graph.metadata["pipeline"],
+                    {"spectrogram_normalization": norm}), device=None)
+                row[label] = top_1_accuracy(app.run_batched(waves), labels)
+            row["convention"] = correct
+            results[name] = row
+        return results
+
+    results = run_experiment(benchmark, experiment)
+    rows = [(name, results[name]["convention"],
+             f"{results[name]['correct']:.3f}",
+             f"{results[name]['mismatched']:.3f}")
+            for name in MODELS]
+    print()
+    print(format_table(
+        ("model", "training convention", "correct top-1", "mismatched top-1"),
+        rows, title="Figure 4(c): spectrogram normalization mismatch"))
+    save_result("fig4c", results)
+
+    for name in MODELS:
+        assert results[name]["correct"] > 0.9
+        drop = results[name]["correct"] - results[name]["mismatched"]
+        assert drop > 0.15  # "significantly hurt"

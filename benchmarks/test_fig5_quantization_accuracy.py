@@ -1,0 +1,87 @@
+"""Figure 5: top-1 accuracy across deployment stages.
+
+For each image model the paper compares four versions: the training
+checkpoint (*Reference*), the converted float model (*Mobile*), the int8
+model on the builtin optimized resolver (*Mobile Quant*), and the same int8
+model on the builtin reference resolver (*Mobile Quant Ref*).
+
+Paper findings reproduced here with the paper-era kernel bugs injected
+(``PAPER_OPTIMIZED_BUGS`` / ``PAPER_REFERENCE_BUGS``; our library kernels
+are correct by default):
+
+* Mobile tracks Reference within ~2 points (conversion is benign);
+* with correct kernels, quantization costs at most a few points
+  (the ±3% claim) — shown in the "Quant (fixed)" column;
+* MobileNet v1/v2 collapse under the buggy *optimized* kernels
+  (depthwise-conv overflow), while remaining fine on reference kernels;
+* MobileNet v3 collapses to constant output under the buggy *reference*
+  kernels (average-pool zero-point bug).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.kernels.quantized import PAPER_OPTIMIZED_BUGS, PAPER_REFERENCE_BUGS
+from repro.metrics import top_1_accuracy
+from repro.pipelines import EdgeApp
+from repro.runtime import Interpreter, OpResolver, ReferenceOpResolver
+from repro.util.tabulate import format_table
+from repro.zoo import IMAGE_CLASSIFIERS, eval_data, get_model
+
+MODELS = ("micro_mobilenet_v1", "micro_mobilenet_v2", "micro_mobilenet_v3",
+          "micro_inception", "micro_resnet")
+
+
+def accuracy(graph, resolver, x, labels):
+    out = Interpreter(graph, resolver=resolver).invoke_single(x)
+    return top_1_accuracy(out.reshape(len(out), -1), labels)
+
+
+def test_fig5_deployment_stage_accuracy(benchmark):
+    def experiment():
+        results = {}
+        for name in MODELS:
+            x, labels = eval_data(name, 300)
+            ckpt = get_model(name, "checkpoint")
+            mobile = get_model(name, "mobile")
+            quant = get_model(name, "quantized")
+            results[name] = {
+                "Reference": accuracy(ckpt, None, x, labels),
+                "Mobile": accuracy(mobile, None, x, labels),
+                "Mobile Quant": accuracy(
+                    quant, OpResolver(bugs=PAPER_OPTIMIZED_BUGS), x, labels),
+                "Mobile Quant Ref": accuracy(
+                    quant, ReferenceOpResolver(bugs=PAPER_REFERENCE_BUGS),
+                    x, labels),
+                "Quant (fixed kernels)": accuracy(quant, OpResolver(), x, labels),
+            }
+        return results
+
+    results = run_experiment(benchmark, experiment)
+    columns = ("Reference", "Mobile", "Mobile Quant", "Mobile Quant Ref",
+               "Quant (fixed kernels)")
+    rows = [(name,) + tuple(f"{results[name][c]:.3f}" for c in columns)
+            for name in MODELS]
+    print()
+    print(format_table(("model",) + columns, rows,
+                       title="Figure 5: accuracy across deployment stages "
+                             "(paper-era kernel bugs injected)"))
+    save_result("fig5", results)
+
+    for name in MODELS:
+        r = results[name]
+        # Conversion is benign; correct-kernel quantization costs little.
+        assert abs(r["Reference"] - r["Mobile"]) < 0.03
+        assert abs(r["Mobile"] - r["Quant (fixed kernels)"]) < 0.06
+
+    chance = 1 / 12 + 0.12
+    # v1/v2: optimized-kernel dwconv bug collapses accuracy; reference
+    # resolver (no SE average pools) stays healthy.
+    for name in ("micro_mobilenet_v1", "micro_mobilenet_v2"):
+        assert results[name]["Mobile Quant"] < chance + 0.15
+        assert results[name]["Mobile Quant Ref"] > 0.85
+    # v3: reference-kernel avg-pool bug collapses accuracy to chance.
+    assert results["micro_mobilenet_v3"]["Mobile Quant Ref"] < chance
+    # Models without depthwise convs are immune to the optimized-kernel bug.
+    assert results["micro_resnet"]["Mobile Quant"] > 0.85
+    assert results["micro_inception"]["Mobile Quant"] > 0.85

@@ -1,0 +1,109 @@
+"""Figure 6: per-layer normalized rMSE of quantized models vs float baseline.
+
+Paper result: for MobileNet v2 under the buggy *optimized* resolver the
+nrMSE jumps at the 2nd layer (a DepthwiseConv2D) and stays elevated; under
+the (correct-for-v2) *reference* resolver it remains below ~10% everywhere.
+For MobileNet v3 under the buggy *reference* resolver, nrMSE peaks at the
+average-pool layer inside every squeeze-excite block.
+
+The printed series are the two panels of Figure 6.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment, save_result
+from repro import MLEXray, EdgeApp
+from repro.kernels.quantized import PAPER_OPTIMIZED_BUGS, PAPER_REFERENCE_BUGS
+from repro.pipelines import build_reference_app
+from repro.runtime import OpResolver, ReferenceOpResolver
+from repro.util.tabulate import format_table
+from repro.validate import per_layer_diff
+from repro.zoo import get_model
+from repro.zoo.registry import image_dataset
+
+
+def layer_series(name, resolver, frames, labels):
+    quant = get_model(name, "quantized")
+    baseline = get_model(name, "mobile")
+    edge = EdgeApp(quant, resolver=resolver,
+                   monitor=MLEXray("edge", per_layer=True))
+    edge.run(frames, labels)
+    ref = build_reference_app(baseline)
+    ref.run(frames, labels)
+    return per_layer_diff(edge.log(), ref.log())
+
+
+def test_fig6_left_mobilenet_v2(benchmark, image_eval_frames):
+    frames, labels = image_eval_frames
+    frames, labels = frames[:16], labels[:16]
+
+    def experiment():
+        return {
+            "Mobile Quant": layer_series(
+                "micro_mobilenet_v2", OpResolver(bugs=PAPER_OPTIMIZED_BUGS),
+                frames, labels),
+            "Mobile Quant Ref": layer_series(
+                "micro_mobilenet_v2", ReferenceOpResolver(), frames, labels),
+        }
+
+    series = run_experiment(benchmark, experiment)
+    opt, ref = series["Mobile Quant"], series["Mobile Quant Ref"]
+    rows = [(d.index, d.layer, d.op, f"{d.error:.4f}", f"{r.error:.4f}")
+            for d, r in zip(opt, ref)]
+    print()
+    print(format_table(
+        ("layer#", "name", "op", "Quant(opt+bug)", "QuantRef"),
+        rows, title="Figure 6 left: MobileNet v2 per-layer nrMSE"))
+    save_result("fig6_v2", {
+        "optimized_bug": [(d.layer, d.op, d.error) for d in opt],
+        "reference": [(d.layer, d.op, d.error) for d in ref],
+    })
+
+    # Reference resolver (correct for v2): drift stays below ~10% everywhere.
+    assert max(d.error for d in ref) < 0.10
+    # Optimized resolver with the bug: jump at the 2nd layer, a dwconv.
+    assert opt[1].op == "depthwise_conv2d"
+    assert opt[1].error > 0.1
+    assert opt[1].error > 5 * opt[0].error
+    # Error stays elevated downstream of the bug.
+    assert np.mean([d.error for d in opt[1:]]) > 0.05
+
+
+def test_fig6_right_mobilenet_v3(benchmark, image_eval_frames):
+    frames, labels = image_eval_frames
+    frames, labels = frames[:16], labels[:16]
+
+    def experiment():
+        return {
+            "Mobile Quant Ref": layer_series(
+                "micro_mobilenet_v3",
+                ReferenceOpResolver(bugs=PAPER_REFERENCE_BUGS),
+                frames, labels),
+            "Mobile Quant (fixed)": layer_series(
+                "micro_mobilenet_v3", OpResolver(), frames, labels),
+        }
+
+    series = run_experiment(benchmark, experiment)
+    buggy = series["Mobile Quant Ref"]
+    fixed = series["Mobile Quant (fixed)"]
+    rows = [(d.index, d.layer, d.op, f"{d.error:.4f}", f"{f.error:.4f}")
+            for d, f in zip(buggy, fixed)]
+    print()
+    print(format_table(
+        ("layer#", "name", "op", "QuantRef(bug)", "Quant(fixed)"),
+        rows, title="Figure 6 right: MobileNet v3 per-layer nrMSE"))
+    save_result("fig6_v3", {
+        "reference_bug": [(d.layer, d.op, d.error) for d in buggy],
+        "optimized_fixed": [(d.layer, d.op, d.error) for d in fixed],
+    })
+
+    pools = [d for d in buggy if d.op == "avg_pool2d"]
+    pre_pool = [d for d in buggy
+                if d.index < min(p.index for p in pools)]
+    # Peaks at every SE average-pool layer (plus the head pool).
+    assert len(pools) >= 5
+    assert min(p.error for p in pools[:1]) > 0.3
+    assert max(p.error for p in pools) > 3 * max(d.error for d in pre_pool)
+    # With correct kernels the same layers are quiet.
+    fixed_pools = [d for d in fixed if d.op == "avg_pool2d"]
+    assert max(d.error for d in fixed_pools) < 0.1

@@ -1,0 +1,107 @@
+"""Table 1: lines of code to debug each target, with vs without ML-EXray.
+
+The snippets under ``benchmarks/loc_snippets/`` are real code: the
+"with" versions call this library's API, the "without" versions hand-roll
+logging, serialization, parsing, and analysis the way the paper describes
+("manually log the output from any ops they suspect ... then verify these
+logs against a correct pipeline"). This bench counts effective LoC
+(statements inside the ``instrument``/``assertion`` functions) via the AST.
+
+Paper shape: with ML-EXray every target needs <=~15 LoC total; without,
+per-layer targets blow up by an order of magnitude.
+"""
+
+import ast
+from pathlib import Path
+
+from benchmarks.conftest import run_experiment, save_result
+from repro.util.tabulate import format_table
+
+SNIPPETS = Path(__file__).parent / "loc_snippets"
+
+TARGETS = {
+    "Preprocessing": "preprocessing.py",
+    "Quantization": "quantization.py",
+    "Lat. & Mem.": "latency_memory.py",
+    "Per-layer Lat.": "per_layer_latency.py",
+}
+
+
+def _count_function_loc(path: Path, prefix: str) -> int:
+    """Effective source lines inside functions named ``prefix``*."""
+    tree = ast.parse(path.read_text())
+    source_lines = path.read_text().splitlines()
+    total = 0
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                node.name.startswith(prefix):
+            body_start = node.body[0].lineno
+            # Skip a leading docstring.
+            if (isinstance(node.body[0], ast.Expr)
+                    and isinstance(node.body[0].value, ast.Constant)):
+                if len(node.body) == 1:
+                    continue
+                body_start = node.body[1].lineno
+            for lineno in range(body_start, node.end_lineno + 1):
+                line = source_lines[lineno - 1].strip()
+                if line and not line.startswith("#"):
+                    total += 1
+    return total
+
+
+def count_loc(variant: str, filename: str) -> dict:
+    path = SNIPPETS / variant / filename
+    inst = _count_function_loc(path, "instrument")
+    asrt = _count_function_loc(path, "assertion") + _count_function_loc(path, "_")
+    return {"inst": inst, "asrt": asrt, "total": inst + asrt}
+
+
+def test_table1_lines_of_code(benchmark):
+    def experiment():
+        return {
+            target: {
+                "with": count_loc("with_mlexray", filename),
+                "without": count_loc("without_mlexray", filename),
+            }
+            for target, filename in TARGETS.items()
+        }
+
+    results = run_experiment(benchmark, experiment)
+    rows = []
+    for target, r in results.items():
+        rows.append((
+            target,
+            r["with"]["inst"], r["with"]["asrt"], r["with"]["total"],
+            r["without"]["inst"], r["without"]["asrt"], r["without"]["total"],
+        ))
+    print()
+    print(format_table(
+        ("debugging target", "Inst(w/)", "Asrt(w/)", "Total(w/)",
+         "Inst(w/o)", "Asrt(w/o)", "Total(w/o)"),
+        rows, title="Table 1: LoC with vs without ML-EXray"))
+    save_result("table1", results)
+
+    for target, r in results.items():
+        # With ML-EXray: instrumentation <= 5 LoC, total <= 15 (paper claim).
+        assert r["with"]["inst"] <= 5, target
+        assert r["with"]["total"] <= 15, target
+        # Without: always strictly more work.
+        assert r["without"]["total"] > 1.5 * r["with"]["total"], target
+    # Per-layer targets blow up the most without the framework.
+    assert results["Quantization"]["without"]["total"] > 50
+    assert results["Per-layer Lat."]["without"]["total"] > 30
+    assert results["Preprocessing"]["without"]["total"] > 15
+
+
+def test_snippets_are_valid_python(benchmark):
+    """Every snippet must parse — they are code, not pseudo-code."""
+
+    def experiment():
+        count = 0
+        for variant in ("with_mlexray", "without_mlexray"):
+            for filename in TARGETS.values():
+                ast.parse((SNIPPETS / variant / filename).read_text())
+                count += 1
+        return count
+
+    assert run_experiment(benchmark, experiment) == 8

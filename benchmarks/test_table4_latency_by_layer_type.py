@@ -1,0 +1,80 @@
+"""Table 4: per-layer-type latency of MobileNet v2 across configurations.
+
+Paper rows (Pixel 4 + x86 emulator): float/optimized, int8/optimized,
+int8/reference, and float on the x86 emulator. Headline shapes:
+
+* reference kernels are 2-3 orders of magnitude slower overall, dominated
+  by conv/dwconv;
+* quantized conv is *slower* than float conv, while quantized dwconv is
+  much faster than float dwconv;
+* FC and Mean barely care about resolver or dtype;
+* the x86 emulator is ~44x slower on conv but comparable on dwconv and
+  faster on Mean (ARM-specific optimizations do not transfer).
+"""
+
+from benchmarks.conftest import run_experiment, save_result
+from repro import MLEXray, EdgeApp
+from repro.perfmodel import PIXEL4_CPU, X86_EMULATOR
+from repro.runtime import OpResolver, ReferenceOpResolver
+from repro.util.tabulate import format_table
+from repro.zoo import get_model
+from repro.zoo.registry import image_dataset
+
+CONFIGS = {
+    "Mobile (ms)": ("mobile", OpResolver, PIXEL4_CPU),
+    "Mobile Quant (ms)": ("quantized", OpResolver, PIXEL4_CPU),
+    "Mobile Quant Ref (ms)": ("quantized", ReferenceOpResolver, PIXEL4_CPU),
+    "Emulator(x86) Mobile (ms)": ("mobile", OpResolver, X86_EMULATOR),
+}
+
+ROW_ORDER = ("depthwise_conv2d", "conv2d", "dense", "global_avg_pool",
+             "avg_pool2d", "pad2d", "add", "softmax", "quantize", "dequantize")
+
+
+def profile(stage, resolver_cls, device, frames):
+    graph = get_model("micro_mobilenet_v2", stage)
+    app = EdgeApp(graph, resolver=resolver_cls(), device=device,
+                  monitor=MLEXray("edge"))
+    app.run(frames)
+    return app.log().layer_latency_by_type()
+
+
+def test_table4_latency_by_layer_type(benchmark):
+    frames, _ = image_dataset().sample(4, "bench-table4")
+
+    def experiment():
+        return {name: profile(*cfg, frames) for name, cfg in CONFIGS.items()}
+
+    results = run_experiment(benchmark, experiment)
+
+    ops = [op for op in ROW_ORDER
+           if any(op in col for col in results.values())]
+    rows = []
+    for op in ops:
+        rows.append((op,) + tuple(
+            f"{results[col].get(op, 0.0):.3f}" for col in CONFIGS))
+    rows.append(("Total",) + tuple(
+        f"{sum(results[col].values()):.2f}" for col in CONFIGS))
+    print()
+    print(format_table(("layer type",) + tuple(CONFIGS), rows,
+                       title="Table 4: micro-MobileNet-v2 latency by layer type"))
+    save_result("table4", {k: dict(v) for k, v in results.items()})
+
+    float_p4 = results["Mobile (ms)"]
+    quant_p4 = results["Mobile Quant (ms)"]
+    ref_p4 = results["Mobile Quant Ref (ms)"]
+    x86 = results["Emulator(x86) Mobile (ms)"]
+
+    # (a) quantized conv slower than float conv.
+    assert quant_p4["conv2d"] > float_p4["conv2d"]
+    # (b) quantized dwconv much faster than float dwconv.
+    assert quant_p4["depthwise_conv2d"] < float_p4["depthwise_conv2d"] / 2
+    # (c) reference kernels orders of magnitude slower overall.
+    assert sum(ref_p4.values()) > 50 * sum(quant_p4.values())
+    assert ref_p4["conv2d"] > 100 * quant_p4["conv2d"]
+    # FC insensitive to the resolver (7.1 vs 7.0 in the paper).
+    assert abs(ref_p4["dense"] - quant_p4["dense"]) < 0.5 * quant_p4["dense"]
+    # (d) x86 emulator: conv ~44x slower, dwconv comparable, Mean faster.
+    assert x86["conv2d"] > 30 * float_p4["conv2d"]
+    assert x86["depthwise_conv2d"] < 3 * float_p4["depthwise_conv2d"]
+    assert x86["global_avg_pool"] < float_p4["global_avg_pool"]

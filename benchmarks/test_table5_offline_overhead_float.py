@@ -1,0 +1,35 @@
+"""Table 5 (appendix): offline validation overhead for float32 models.
+
+Same harness as Table 3 on the original 32-bit float (mobile) models.
+Shape assertion specific to this table: float per-layer logs and model
+memory exceed their int8 counterparts (float tensors are 4x larger;
+compression narrows but does not close the gap).
+"""
+
+from benchmarks.conftest import run_experiment, save_result
+from benchmarks.test_table3_offline_overhead_int8 import (
+    MODELS,
+    NUM_FRAMES,
+    profile_model,
+    run_table,
+)
+from repro.zoo.registry import image_dataset
+
+
+def test_table5_offline_validation_float(benchmark, tmp_path):
+    results = run_table(
+        benchmark, "mobile",
+        f"Table 5: per-layer validation overhead, float32 models "
+        f"({NUM_FRAMES} frames, simulated Pixel 4)",
+        "table5", tmp_path)
+
+    frames, _ = image_dataset().sample(4, "bench-table5-cross")
+    int8 = profile_model("micro_mobilenet_v2", frames,
+                         tmp_path / "cross_int8", stage="quantized")
+    flt = profile_model("micro_mobilenet_v2", frames,
+                        tmp_path / "cross_float", stage="mobile")
+    # Float models occupy more memory than their int8 versions.
+    assert flt["memory_mb"] > 2 * int8["memory_mb"]
+    # Layer ordering is preserved in this table too.
+    layers = [results[m]["layers"] for m in MODELS]
+    assert layers == sorted(layers)

@@ -1,0 +1,39 @@
+"""Quickstart: instrument an edge app and validate its deployment.
+
+This is the paper's headline workflow in ~15 lines of user code:
+instrument the app (3 lines), replay the same data through a reference
+pipeline (2 lines), and run the validation session (2 lines). The app here
+carries a classic silent bug — it feeds BGR frames to an RGB model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MLEXray, EdgeApp, DebugSession
+from repro.pipelines import build_reference_app, make_preprocess
+from repro.zoo import get_model
+from repro.zoo.registry import image_dataset
+
+
+def main() -> None:
+    # A deployed (converted) model and 32 played-back camera frames.
+    model = get_model("micro_mobilenet_v2", stage="mobile")
+    frames, labels = image_dataset().sample(32, "quickstart")
+
+    # --- the edge app, instrumented with ML-EXray (the buggy pipeline) ----
+    buggy_preprocess = make_preprocess(model.metadata["pipeline"],
+                                       {"channel_order": "bgr"})  # the bug
+    app = EdgeApp(model, preprocess=buggy_preprocess,
+                  monitor=MLEXray("edge", per_layer=True))
+    app.run(frames, labels)
+
+    # --- the reference pipeline replays the same data ----------------------
+    reference = build_reference_app(model)
+    reference.run(frames, labels)
+
+    # --- deployment validation: accuracy gate, per-layer drift, root cause -
+    report = DebugSession(app.log(), reference.log()).run()
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+A classic setup.py/setup.cfg layout (instead of pyproject.toml) is used
+deliberately: this environment is offline and `pip install -e .` must work
+with the preinstalled setuptools alone (no `wheel` package available for the
+PEP-660 editable path).
+"""
+from setuptools import setup
+
+setup()

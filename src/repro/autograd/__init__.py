@@ -1,0 +1,19 @@
+"""Minimal reverse-mode autodiff used to train the model zoo from scratch."""
+
+from repro.autograd import ops
+from repro.autograd.losses import mse, sigmoid_binary_cross_entropy, softmax_cross_entropy
+from repro.autograd.optim import SGD, Adam, Optimizer
+from repro.autograd.variable import Var, as_var, unbroadcast
+
+__all__ = [
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "Var",
+    "as_var",
+    "mse",
+    "ops",
+    "sigmoid_binary_cross_entropy",
+    "softmax_cross_entropy",
+    "unbroadcast",
+]

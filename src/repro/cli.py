@@ -1,0 +1,206 @@
+"""Command-line interface for the deployment-validation library.
+
+The paper promises "a Python deployment validation library"; this CLI is
+its operational surface::
+
+    python -m repro list-models
+    python -m repro export micro_mobilenet_v2 --stage quantized -o v2.rpm
+    python -m repro validate micro_mobilenet_v2 --bug channel_order=bgr
+    python -m repro profile micro_mobilenet_v2 --stage quantized \
+        --resolver reference --device pixel4_cpu
+
+``validate`` runs the full Figure-2 flowchart: instrumented edge app (with
+optional injected bugs) vs the model's reference pipeline over played-back
+data, then prints the validation report. ``profile`` prints the per-layer
+latency profile and straggler analysis on a simulated device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graph import save_model
+from repro.instrument import MLEXray
+from repro.kernels.quantized import (
+    NO_BUGS,
+    PAPER_OPTIMIZED_BUGS,
+    PAPER_REFERENCE_BUGS,
+)
+from repro.perfmodel import DEVICES
+from repro.pipelines import EdgeApp, build_reference_app, make_preprocess
+from repro.runtime import OpResolver, ReferenceOpResolver
+from repro.util.tabulate import format_table
+from repro.validate import DebugSession, find_stragglers, layer_latency_profile
+from repro.zoo import eval_data, get_entry, get_model, get_trained, list_models
+
+BUG_PRESETS = {
+    "none": NO_BUGS,
+    "paper-optimized": PAPER_OPTIMIZED_BUGS,
+    "paper-reference": PAPER_REFERENCE_BUGS,
+}
+
+
+def _resolver(kind: str, kernel_bugs: str):
+    bugs = BUG_PRESETS[kernel_bugs]
+    return (ReferenceOpResolver(bugs=bugs) if kind == "reference"
+            else OpResolver(bugs=bugs))
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--bug expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        overrides[key] = int(value) if value.lstrip("-").isdigit() else value
+    return overrides
+
+
+def cmd_list_models(args, out) -> int:
+    rows = []
+    for name in list_models():
+        entry = get_entry(name)
+        rows.append((name, entry.family, entry.task))
+    print(format_table(("model", "paper family", "task"), rows,
+                       title="zoo models"), file=out)
+    return 0
+
+
+def cmd_export(args, out) -> int:
+    graph = get_model(args.model, stage=args.stage)
+    nbytes = save_model(graph, args.output)
+    print(f"wrote {args.output} ({nbytes} bytes, {graph.num_layers()} layers, "
+          f"{graph.num_params():,} params, stage={args.stage})", file=out)
+    return 0
+
+
+def cmd_train(args, out) -> int:
+    _, _, meta = get_trained(args.model, force_retrain=args.force)
+    acc = meta.get("val_accuracy")
+    summary = f"val_accuracy={acc:.3f}" if acc is not None else "trained"
+    print(f"{args.model}: {summary}", file=out)
+    return 0
+
+
+def cmd_validate(args, out) -> int:
+    graph = get_model(args.model, stage=args.stage)
+    entry = get_entry(args.model)
+    if entry.task != "text":
+        from repro.zoo.registry import (
+            detection_dataset,
+            image_dataset,
+            segmentation_dataset,
+            speech_dataset,
+        )
+        raw = {
+            "classification": image_dataset(),
+            "detection": detection_dataset(),
+            "segmentation": segmentation_dataset(),
+            "speech": speech_dataset(),
+        }[entry.task].sample(args.frames, "cli-validate")
+        frames, labels = raw
+    else:
+        frames, labels = eval_data(args.model, args.frames, "cli-validate")
+    if entry.task in ("detection", "segmentation"):
+        labels = None  # scalar labels don't apply; assertions still run
+
+    overrides = _parse_overrides(args.bug or [])
+    preprocess = make_preprocess(graph.metadata["pipeline"], overrides) \
+        if overrides else None
+    edge = EdgeApp(graph, preprocess=preprocess,
+                   resolver=_resolver(args.resolver, args.kernel_bugs),
+                   monitor=MLEXray("edge", per_layer=True))
+    edge.run(frames, labels, log_raw=entry.task == "classification")
+    reference = build_reference_app(get_model(args.model, "mobile"))
+    reference.run(frames, labels)
+
+    report = DebugSession(edge.log(), reference.log(), task=entry.task).run(
+        always_run_assertions=args.always_assert)
+    print(report.render(), file=out)
+    return 0 if report.healthy else 1
+
+
+def cmd_profile(args, out) -> int:
+    graph = get_model(args.model, stage=args.stage)
+    frames, _ = eval_data(args.model, args.frames, "cli-profile")
+    app = EdgeApp(graph, resolver=_resolver(args.resolver, args.kernel_bugs),
+                  device=DEVICES[args.device], monitor=MLEXray("edge"))
+    app.run_batched(frames[:1])  # warm validation
+    app.run(frames)
+    log = app.log()
+    profile = layer_latency_profile(log)
+    rows = [(p.layer, p.op, f"{p.latency_ms:.3f}", f"{p.share:.1%}")
+            for p in profile]
+    print(format_table(("layer", "op", "ms/frame", "share"), rows,
+                       title=f"{args.model} [{args.stage}/{args.resolver}] "
+                             f"on {DEVICES[args.device].name}"), file=out)
+    print(f"end-to-end: {log.mean_latency_ms():.2f} ms/frame", file=out)
+    stragglers = find_stragglers(log)
+    for s in stragglers:
+        print(f"straggler: {s.layer} ({s.op}) {s.latency_ms:.2f}ms "
+              f"= {s.share:.0%}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ML-EXray deployment validation CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list zoo models")
+
+    p = sub.add_parser("export", help="export a zoo model to a .rpm file")
+    p.add_argument("model")
+    p.add_argument("--stage", default="mobile",
+                   choices=("checkpoint", "mobile", "quantized"))
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("train", help="train (or retrain) a zoo model")
+    p.add_argument("model")
+    p.add_argument("--force", action="store_true")
+
+    p = sub.add_parser("validate",
+                       help="edge-vs-reference deployment validation")
+    p.add_argument("model")
+    p.add_argument("--stage", default="mobile",
+                   choices=("checkpoint", "mobile", "quantized"))
+    p.add_argument("--frames", type=int, default=24)
+    p.add_argument("--bug", action="append", metavar="KEY=VALUE",
+                   help="inject a preprocessing bug (repeatable), e.g. "
+                        "channel_order=bgr, normalization=[0,1], rotation_k=1")
+    p.add_argument("--resolver", default="optimized",
+                   choices=("optimized", "reference"))
+    p.add_argument("--kernel-bugs", default="none", choices=sorted(BUG_PRESETS))
+    p.add_argument("--always-assert", action="store_true",
+                   help="run assertions even when accuracy looks healthy")
+
+    p = sub.add_parser("profile", help="per-layer latency on a simulated device")
+    p.add_argument("model")
+    p.add_argument("--stage", default="mobile",
+                   choices=("checkpoint", "mobile", "quantized"))
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--device", default="pixel4_cpu", choices=sorted(DEVICES))
+    p.add_argument("--resolver", default="optimized",
+                   choices=("optimized", "reference"))
+    p.add_argument("--kernel-bugs", default="none", choices=sorted(BUG_PRESETS))
+    return parser
+
+
+COMMANDS = {
+    "list-models": cmd_list_models,
+    "export": cmd_export,
+    "train": cmd_train,
+    "validate": cmd_validate,
+    "profile": cmd_profile,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Model conversion: checkpoint → mobile float → full-integer quantized."""
+
+from repro.convert.eliminate_dead import eliminate_dead_nodes
+from repro.convert.fold_batch_norm import fold_batch_norm
+from repro.convert.fuse_activations import fuse_activations
+from repro.convert.mobile import MOBILE_PASSES, convert_to_mobile
+from repro.convert.quantize_graph import (
+    QuantizationConfig,
+    calibrate_ranges,
+    quantize_graph,
+)
+
+__all__ = [
+    "MOBILE_PASSES",
+    "QuantizationConfig",
+    "calibrate_ranges",
+    "convert_to_mobile",
+    "eliminate_dead_nodes",
+    "fold_batch_norm",
+    "fuse_activations",
+    "quantize_graph",
+]

@@ -1,0 +1,20 @@
+"""Dead-node elimination: drop nodes whose outputs nothing consumes."""
+
+from __future__ import annotations
+
+from repro.convert.rebuild import rebuild
+from repro.graph.graph import Graph
+
+
+def eliminate_dead_nodes(graph: Graph) -> Graph:
+    """Remove nodes not reachable (backwards) from the graph outputs."""
+    needed: set[str] = set(graph.outputs)
+    keep: list = []
+    for node in reversed(graph.nodes):
+        if any(t in needed for t in node.outputs):
+            keep.append(node)
+            needed.update(node.inputs)
+    keep.reverse()
+    if len(keep) == len(graph.nodes):
+        return graph
+    return rebuild(graph, keep, metadata={"eliminated_dead_nodes": True})

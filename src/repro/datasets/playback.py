@@ -1,0 +1,94 @@
+"""Data playback: record-once, replay-anywhere input streams.
+
+The paper instruments apps "in a way that they can accept data from an SD
+card in addition to the original sensor streams" (§4), so the edge pipeline
+and the reference pipeline consume *byte-identical* inputs. This module is
+that SD card: a directory of npz shards plus an index file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+class PlaybackRecorder:
+    """Writes a replayable stream of (input, label) records to a directory."""
+
+    def __init__(self, root: str | Path, shard_size: int = 256):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.shard_size = shard_size
+        self._buffer: list[tuple[np.ndarray, object]] = []
+        self._shards: list[dict] = []
+        self._count = 0
+
+    def append(self, item: np.ndarray, label: object = None) -> None:
+        """Record one frame/utterance/sequence with an optional label."""
+        self._buffer.append((np.asarray(item), label))
+        self._count += 1
+        if len(self._buffer) >= self.shard_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        shard_id = len(self._shards)
+        path = self.root / f"shard_{shard_id:05d}.npz"
+        items = np.stack([item for item, _ in self._buffer])
+        labels = np.asarray([
+            -1 if label is None else label for _, label in self._buffer
+        ])
+        np.savez_compressed(path, items=items, labels=labels)
+        self._shards.append({"file": path.name, "count": len(self._buffer)})
+        self._buffer = []
+
+    def close(self) -> int:
+        """Flush and write the index; returns the number of records."""
+        self._flush()
+        index = {"total": self._count, "shards": self._shards, "version": 1}
+        (self.root / "index.json").write_text(json.dumps(index, indent=2))
+        return self._count
+
+    def __enter__(self) -> "PlaybackRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PlaybackReader:
+    """Replays a stream recorded by :class:`PlaybackRecorder`."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        index_path = self.root / "index.json"
+        if not index_path.exists():
+            raise ValidationError(f"no playback index at {index_path}")
+        self.index = json.loads(index_path.read_text())
+        self.total = int(self.index["total"])
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, object]]:
+        for shard in self.index["shards"]:
+            with np.load(self.root / shard["file"]) as data:
+                items, labels = data["items"], data["labels"]
+            for i in range(len(items)):
+                label = labels[i]
+                yield items[i], (None if label == -1 else label)
+
+
+def record_arrays(root: str | Path, items: np.ndarray,
+                  labels: np.ndarray | None = None) -> int:
+    """Convenience: record a batch of arrays (and labels) in one call."""
+    with PlaybackRecorder(root) as recorder:
+        for i in range(len(items)):
+            recorder.append(items[i], None if labels is None else labels[i])
+    return len(items)

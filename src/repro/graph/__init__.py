@@ -1,0 +1,23 @@
+"""Model graph IR: tensor specs, nodes, graphs, shape inference, serialization."""
+
+from repro.graph.graph import Graph, GraphBuilder
+from repro.graph.node import OP_TYPES, Node
+from repro.graph.serialize import (
+    graph_from_bytes,
+    graph_to_bytes,
+    load_model,
+    save_model,
+)
+from repro.graph.spec import TensorSpec
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "OP_TYPES",
+    "TensorSpec",
+    "graph_from_bytes",
+    "graph_to_bytes",
+    "load_model",
+    "save_model",
+]

@@ -1,0 +1,102 @@
+"""Model serialization: one ``.npz`` file per model (our FlatBuffer analogue).
+
+The file stores a single JSON document describing the structure plus one
+array entry per weight (keyed ``w::<node>::<param>``); loading reconstructs a
+validated :class:`~repro.graph.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node, attrs_from_json
+from repro.graph.spec import TensorSpec
+from repro.quantize.params import QuantParams
+from repro.util.errors import GraphError
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_bytes(graph: Graph) -> bytes:
+    """Serialize a graph to the npz container format, returned as bytes."""
+    graph.validate()
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": graph.inputs,
+        "outputs": graph.outputs,
+        "metadata": graph.metadata,
+        "nodes": [node.to_json() for node in graph.nodes],
+        "tensors": [spec.to_json() for spec in graph.tensors.values()],
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for node in graph.nodes:
+        for key, value in node.weights.items():
+            arrays[f"w::{node.name}::{key}"] = value
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, __graph__=np.frombuffer(
+        json.dumps(doc).encode("utf-8"), dtype=np.uint8), **arrays)
+    return buffer.getvalue()
+
+
+def save_model(graph: Graph, path: str | Path) -> int:
+    """Write a graph to ``path``; returns the file size in bytes."""
+    payload = graph_to_bytes(graph)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    return len(payload)
+
+
+def graph_from_bytes(payload: bytes) -> Graph:
+    """Deserialize a graph from bytes produced by :func:`graph_to_bytes`."""
+    with np.load(io.BytesIO(payload)) as data:
+        doc = json.loads(bytes(data["__graph__"]).decode("utf-8"))
+        if doc.get("format_version") != _FORMAT_VERSION:
+            raise GraphError(
+                f"unsupported model format version {doc.get('format_version')!r}"
+            )
+        arrays = {key: data[key] for key in data.files if key != "__graph__"}
+    tensors = {t["name"]: TensorSpec.from_json(t) for t in doc["tensors"]}
+    nodes = []
+    for njson in doc["nodes"]:
+        weights = {}
+        for key in njson["weight_keys"]:
+            full = f"w::{njson['name']}::{key}"
+            if full not in arrays:
+                raise GraphError(f"model file missing weight array {full!r}")
+            weights[key] = arrays[full]
+        weight_quant = {
+            k: QuantParams.from_json(q) for k, q in njson["weight_quant"].items()
+        }
+        nodes.append(
+            Node(
+                name=njson["name"],
+                op=njson["op"],
+                inputs=list(njson["inputs"]),
+                outputs=list(njson["outputs"]),
+                attrs=attrs_from_json(njson["attrs"]),
+                weights=weights,
+                weight_quant=weight_quant,
+            )
+        )
+    graph = Graph(
+        name=doc["name"],
+        inputs=list(doc["inputs"]),
+        outputs=list(doc["outputs"]),
+        nodes=nodes,
+        tensors=tensors,
+        metadata=dict(doc.get("metadata", {})),
+    )
+    graph.validate()
+    return graph
+
+
+def load_model(path: str | Path) -> Graph:
+    """Load a graph previously written by :func:`save_model`."""
+    return graph_from_bytes(Path(path).read_bytes())

@@ -1,0 +1,186 @@
+"""Static shape/dtype inference for every graph op.
+
+The :class:`~repro.graph.graph.GraphBuilder` runs these at construction time
+so a malformed model fails at build, not at invoke — the same guarantee a
+TFLite converter gives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.spec import Shape, TensorSpec
+from repro.kernels.common import conv_output_size, normalize_stride, resolve_padding
+from repro.util.errors import ShapeError
+
+
+def _require_rank(spec: TensorSpec, rank: int, op: str) -> None:
+    if len(spec.shape) != rank:
+        raise ShapeError(f"{op}: expected rank-{rank} input, got {spec.shape}")
+
+
+def _spatial(spec: TensorSpec, op: str) -> tuple[int, int, int]:
+    _require_rank(spec, 4, op)
+    _, h, w, c = spec.shape
+    if h is None or w is None or c is None:
+        raise ShapeError(f"{op}: spatial/channel dims must be static, got {spec.shape}")
+    return h, w, c
+
+
+def _conv_like_output(spec: TensorSpec, kh: int, kw: int, attrs: dict, op: str) -> tuple[int, int]:
+    h, w, _ = _spatial(spec, op)
+    sh, sw = normalize_stride(attrs.get("stride", 1))
+    pad = resolve_padding(attrs.get("padding", "same"), h, w, kh, kw, sh, sw)
+    return conv_output_size(h, kh, sh, pad[0]), conv_output_size(w, kw, sw, pad[1])
+
+
+def _broadcast(a: Shape, b: Shape, op: str) -> Shape:
+    if len(a) < len(b):
+        a, b = b, a
+    b = (None,) * (len(a) - len(b)) + tuple(b)
+    out = []
+    for da, db in zip(a, b):
+        if da is None or db is None:
+            out.append(da if db is None else None if da is None else da)
+        elif da == db or db == 1:
+            out.append(da)
+        elif da == 1:
+            out.append(db)
+        else:
+            raise ShapeError(f"{op}: cannot broadcast {a} with {b}")
+    return tuple(out)
+
+
+def infer_output_spec(
+    op: str,
+    name: str,
+    input_specs: list[TensorSpec],
+    attrs: dict,
+    weights: dict[str, np.ndarray],
+) -> TensorSpec:
+    """Infer the output TensorSpec of a node.
+
+    ``name`` is the output tensor name; quantization annotations are attached
+    later by the quantization pass, never here.
+    """
+    x = input_specs[0]
+
+    if op == "conv2d":
+        kh, kw, cin, cout = weights["weights"].shape
+        if x.shape[-1] != cin:
+            raise ShapeError(f"conv2d {name}: channels {x.shape[-1]} != {cin}")
+        oh, ow = _conv_like_output(x, kh, kw, attrs, "conv2d")
+        return TensorSpec(name, (x.shape[0], oh, ow, cout), "float32")
+
+    if op == "depthwise_conv2d":
+        kh, kw, c, mult = weights["weights"].shape
+        if x.shape[-1] != c:
+            raise ShapeError(f"depthwise {name}: channels {x.shape[-1]} != {c}")
+        oh, ow = _conv_like_output(x, kh, kw, attrs, "depthwise_conv2d")
+        return TensorSpec(name, (x.shape[0], oh, ow, c * mult), "float32")
+
+    if op == "dense":
+        din, dout = weights["weights"].shape
+        if x.shape[-1] != din:
+            raise ShapeError(f"dense {name}: input dim {x.shape[-1]} != {din}")
+        return TensorSpec(name, x.shape[:-1] + (dout,), "float32")
+
+    if op in ("batch_norm", "activation", "layer_norm", "channel_reverse"):
+        return TensorSpec(name, x.shape, "float32")
+
+    if op == "softmax":
+        return TensorSpec(name, x.shape, "float32")
+
+    if op in ("avg_pool2d", "max_pool2d"):
+        h, w, c = _spatial(x, op)
+        kh, kw = normalize_stride(attrs.get("pool_size", 2))
+        sh, sw = normalize_stride(attrs.get("stride", (kh, kw)))
+        pad = resolve_padding(attrs.get("padding", "valid"), h, w, kh, kw, sh, sw)
+        oh = conv_output_size(h, kh, sh, pad[0])
+        ow = conv_output_size(w, kw, sw, pad[1])
+        return TensorSpec(name, (x.shape[0], oh, ow, c), "float32")
+
+    if op == "global_avg_pool":
+        _, _, c = _spatial(x, op)
+        if attrs.get("keepdims", False):
+            return TensorSpec(name, (x.shape[0], 1, 1, c), "float32")
+        return TensorSpec(name, (x.shape[0], c), "float32")
+
+    if op == "pad2d":
+        h, w, c = _spatial(x, "pad2d")
+        (pt, pb), (pl, pr) = attrs["paddings"]
+        return TensorSpec(name, (x.shape[0], h + pt + pb, w + pl + pr, c), "float32")
+
+    if op in ("add", "mul"):
+        shape = _broadcast(input_specs[0].shape, input_specs[1].shape, op)
+        return TensorSpec(name, shape, "float32")
+
+    if op == "concat":
+        axis = attrs.get("axis", -1)
+        base = list(x.shape)
+        axis = axis if axis >= 0 else len(base) + axis
+        total = 0
+        for spec in input_specs:
+            if len(spec.shape) != len(base):
+                raise ShapeError(f"concat {name}: rank mismatch")
+            if spec.shape[axis] is None:
+                raise ShapeError(f"concat {name}: dynamic concat axis")
+            total += spec.shape[axis]
+        base[axis] = total
+        return TensorSpec(name, tuple(base), "float32")
+
+    if op == "reshape":
+        target = list(attrs["shape"])
+        known = 1
+        for d in x.shape:
+            if d is not None:
+                known *= d
+        out: list[int | None] = []
+        for i, d in enumerate(target):
+            if d == -1:
+                out.append(None if i == 0 else d)  # resolved below for i > 0
+            else:
+                out.append(int(d))
+        if out.count(-1) > 1:
+            raise ShapeError(f"reshape {name}: more than one -1 in {target}")
+        if -1 in out:
+            fixed = 1
+            for d in out:
+                if isinstance(d, int) and d > 0:
+                    fixed *= d
+            out[out.index(-1)] = known // fixed if None not in x.shape else None
+        return TensorSpec(name, tuple(out), "float32")
+
+    if op == "flatten":
+        rest = 1
+        for d in x.shape[1:]:
+            if d is None:
+                raise ShapeError(f"flatten {name}: dynamic non-batch dim")
+            rest *= d
+        return TensorSpec(name, (x.shape[0], rest), "float32")
+
+    if op == "embedding":
+        vocab, dim = weights["table"].shape
+        return TensorSpec(name, x.shape + (dim,), "float32")
+
+    if op == "self_attention":
+        return TensorSpec(name, x.shape, "float32")
+
+    if op == "reduce_mean_seq":
+        _require_rank(x, 3, "reduce_mean_seq")
+        return TensorSpec(name, (x.shape[0], x.shape[2]), "float32")
+
+    if op == "resize_nearest":
+        _, _, c = _spatial(x, "resize_nearest")
+        return TensorSpec(name, (x.shape[0], attrs["out_h"], attrs["out_w"], c), "float32")
+
+    if op == "image_normalize":
+        return TensorSpec(name, x.shape, "float32")
+
+    if op == "quantize":
+        return TensorSpec(name, x.shape, attrs.get("dtype", "int8"))
+
+    if op == "dequantize":
+        return TensorSpec(name, x.shape, "float32")
+
+    raise ShapeError(f"no shape inference for op {op!r}")

@@ -1,0 +1,14 @@
+"""ML-EXray instrumentation: the EdgeML Monitor, log records, and log store."""
+
+from repro.instrument.monitor import EdgeMLMonitor, MLEXray
+from repro.instrument.records import FrameLog, TraceSummary
+from repro.instrument.store import EXrayLog, save_log
+
+__all__ = [
+    "EXrayLog",
+    "EdgeMLMonitor",
+    "FrameLog",
+    "MLEXray",
+    "TraceSummary",
+    "save_log",
+]

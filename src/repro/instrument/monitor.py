@@ -1,0 +1,202 @@
+"""The EdgeML Monitor and the ML-EXray instrumentation API.
+
+This is the Python rendering of the paper's multi-lingual API (§3.2, and the
+C++/Java snippets in §3.2/appendix B). The same class instruments both the
+edge pipeline and the reference pipeline, which is what makes their logs
+directly comparable.
+
+Typical app instrumentation (compare the paper's 3-line C++ example)::
+
+    monitor = MLEXray("edge_app", per_layer=False)
+    monitor.attach(interpreter)
+    ...
+    monitor.on_inf_start()
+    outputs = interpreter.invoke(x)
+    monitor.on_inf_stop(interpreter)
+
+Custom logging around any pipeline function::
+
+    monitor.log("preprocess_out", model_input)        # a "red dot" log
+    monitor.log_sensor("orientation", 90)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.instrument.records import FrameLog
+from repro.runtime.interpreter import Interpreter, LayerRecord
+from repro.util.errors import ValidationError
+
+
+class EdgeMLMonitor:
+    """Collects ML-EXray telemetry for a sequence of inference frames.
+
+    Parameters
+    ----------
+    name:
+        Log stream name (e.g. "edge", "reference").
+    per_layer:
+        When True, record every layer's output tensor (the fine-grained
+        offline-validation mode of Tables 3/5 and Figure 6). When False only
+        default logs are captured (model I/O, latency, memory) — the cheap
+        always-on mode of Table 2.
+    dequantize_layers:
+        Store per-layer outputs of quantized models in the real-valued
+        domain so they compare directly against float reference logs.
+    """
+
+    def __init__(self, name: str = "edge", per_layer: bool = False,
+                 dequantize_layers: bool = True):
+        self.name = name
+        self.per_layer = per_layer
+        self.dequantize_layers = dequantize_layers
+        self.frames: list[FrameLog] = []
+        self.monitor_overhead_ms = 0.0
+        self._current: FrameLog | None = None
+        self._lazy_frame = False
+        self._inf_started_at: float | None = None
+        self._sensor_started_at: float | None = None
+        self._step = 0
+        self._attached: list[Interpreter] = []
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, interpreter: Interpreter) -> None:
+        """Observe an interpreter: per-layer telemetry flows into this monitor."""
+        interpreter.add_observer(self._on_layer)
+        self._attached.append(interpreter)
+
+    def detach(self, interpreter: Interpreter) -> None:
+        interpreter.remove_observer(self._on_layer)
+        self._attached.remove(interpreter)
+
+    def _on_layer(self, record: LayerRecord) -> None:
+        if self._current is None:
+            return  # layer executed outside an on_inf_start/stop window
+        t0 = time.perf_counter()
+        frame = self._current
+        frame.layer_latency_ms[record.node.name] = record.latency_ms
+        frame.layer_ops[record.node.name] = record.node.op
+        if self.per_layer:
+            output = record.output
+            if record.quantized and self.dequantize_layers and record.spec.quant:
+                output = record.spec.quant.dequantize(output)
+            frame.tensors[f"layer/{record.node.name}"] = np.array(output, copy=True)
+        self.monitor_overhead_ms += (time.perf_counter() - t0) * 1e3
+
+    # ----------------------------------------------------- inference markers
+    def on_inf_start(self) -> None:
+        """Mark the start of one model invocation (opens a frame).
+
+        If sensor/custom logs already opened the frame lazily (they often
+        precede the invocation), this adopts that frame and restarts the
+        latency clock.
+        """
+        if self._current is not None:
+            if not self._lazy_frame:
+                raise ValidationError("on_inf_start called twice without on_inf_stop")
+            self._lazy_frame = False
+        else:
+            self._current = FrameLog(step=self._step)
+        self._inf_started_at = time.perf_counter()
+
+    def on_inf_stop(self, interpreter: Interpreter | None = None) -> FrameLog:
+        """Close the frame; pulls latency/memory from the interpreter."""
+        if self._current is None:
+            raise ValidationError("on_inf_stop called without on_inf_start")
+        t0 = time.perf_counter()
+        frame = self._current
+        frame.wall_ms = (t0 - self._inf_started_at) * 1e3
+        if interpreter is not None:
+            frame.latency_ms = interpreter.last_latency_ms
+            frame.memory_mb = interpreter.model_memory_bytes() / 2**20
+        else:
+            frame.latency_ms = frame.wall_ms
+        self.frames.append(frame)
+        self._current = None
+        self._lazy_frame = False
+        self._step += 1
+        self.monitor_overhead_ms += (time.perf_counter() - t0) * 1e3
+        return frame
+
+    # ------------------------------------------------------------ sensor API
+    def on_sensor_start(self) -> None:
+        """Mark sensor capture start (camera shutter open)."""
+        self._sensor_started_at = time.perf_counter()
+
+    def on_sensor_stop(self) -> None:
+        """Mark sensor capture end; logs the capture duration."""
+        if self._sensor_started_at is None:
+            raise ValidationError("on_sensor_stop called without on_sensor_start")
+        elapsed = (time.perf_counter() - self._sensor_started_at) * 1e3
+        self.log_sensor("capture_ms", elapsed)
+        self._sensor_started_at = None
+
+    def log_sensor(self, key: str, value) -> None:
+        """Log a peripheral-sensor reading (orientation, lighting, ...)."""
+        self._frame_for_logging().sensors[key] = value
+
+    # ------------------------------------------------------------ custom API
+    def log(self, key: str, value) -> None:
+        """Log a custom key-value pair (tensor or scalar) on the open frame."""
+        t0 = time.perf_counter()
+        frame = self._frame_for_logging()
+        if isinstance(value, np.ndarray):
+            frame.tensors[key] = np.array(value, copy=True)
+        elif isinstance(value, (int, float, np.floating, np.integer)):
+            frame.scalars[key] = float(value)
+        else:
+            frame.sensors[key] = value
+        self.monitor_overhead_ms += (time.perf_counter() - t0) * 1e3
+
+    def wrap(self, key: str, fn):
+        """Wrap a pipeline function so its input and output are logged.
+
+        The ML-EXray way to instrument e.g. a channel-extraction function::
+
+            extract = monitor.wrap("channel_extraction", extract)
+        """
+
+        def wrapped(*args, **kwargs):
+            if args and isinstance(args[0], np.ndarray):
+                self.log(f"{key}/in", args[0])
+            out = fn(*args, **kwargs)
+            if isinstance(out, np.ndarray):
+                self.log(f"{key}/out", out)
+            return out
+
+        return wrapped
+
+    def _frame_for_logging(self) -> FrameLog:
+        if self._current is not None:
+            return self._current
+        # Logging outside an inference window opens a frame lazily (sensor
+        # events often precede on_inf_start); the explicit on_inf_start
+        # later adopts it.
+        self._current = FrameLog(step=self._step)
+        self._lazy_frame = True
+        self._inf_started_at = time.perf_counter()
+        return self._current
+
+    # -------------------------------------------------------------- summary
+    def summary(self) -> dict:
+        """Aggregate latency/memory statistics across recorded frames."""
+        if not self.frames:
+            raise ValidationError(f"monitor {self.name!r} has no frames")
+        lat = np.array([f.latency_ms for f in self.frames])
+        wall = np.array([f.wall_ms for f in self.frames])
+        mem = max((f.memory_mb for f in self.frames), default=0.0)
+        return {
+            "num_frames": len(self.frames),
+            "mean_latency_ms": float(lat.mean()),
+            "std_latency_ms": float(lat.std()),
+            "mean_wall_ms": float(wall.mean()),
+            "peak_memory_mb": float(mem),
+            "monitor_overhead_ms": self.monitor_overhead_ms,
+        }
+
+
+MLEXray = EdgeMLMonitor
+"""Paper-facing alias: ``MLEXray.on_inf_start()`` reads like the paper's API."""

@@ -1,0 +1,60 @@
+"""Log records: the ML-EXray data model (§3.2).
+
+Three telemetry families, all reducible to key-value pairs per inference
+frame:
+
+* **Input/Output** — model input/output, per-layer outputs, and the
+  input/output of any user-instrumented function;
+* **Performance metrics** — end-to-end latency, per-layer latency, memory
+  footprint;
+* **Peripheral sensors** — device context (orientation, motion, lighting)
+  captured around the sensor read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FrameLog:
+    """Everything logged for one inference frame (one sensor sample)."""
+
+    step: int
+    latency_ms: float = 0.0
+    wall_ms: float = 0.0
+    memory_mb: float = 0.0
+    scalars: dict[str, float] = field(default_factory=dict)
+    sensors: dict[str, object] = field(default_factory=dict)
+    tensors: dict[str, np.ndarray] = field(default_factory=dict)
+    layer_latency_ms: dict[str, float] = field(default_factory=dict)
+    layer_ops: dict[str, str] = field(default_factory=dict)
+
+    def tensor(self, key: str) -> np.ndarray:
+        """Fetch a logged tensor; raises KeyError with available keys."""
+        try:
+            return self.tensors[key]
+        except KeyError:
+            raise KeyError(
+                f"frame {self.step} has no tensor {key!r}; "
+                f"available: {sorted(self.tensors)}"
+            ) from None
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics over a run (consumed by the overhead tables)."""
+
+    num_frames: int
+    mean_latency_ms: float
+    std_latency_ms: float
+    mean_wall_ms: float
+    peak_memory_mb: float
+    monitor_overhead_ms: float
+    log_bytes: int
+
+    @property
+    def bytes_per_frame(self) -> float:
+        return self.log_bytes / max(self.num_frames, 1)

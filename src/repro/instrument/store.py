@@ -1,0 +1,151 @@
+"""EXray-log persistence: write monitor contents to disk and read them back.
+
+Logs are a directory: ``meta.json`` (stream metadata), ``frames.json``
+(per-frame scalars/sensors/latency), and ``tensors.npz`` (all logged arrays,
+keyed ``<step>::<key>``). The byte sizes of these files are exactly the
+"Disk" columns of Tables 2, 3, and 5.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.instrument.monitor import EdgeMLMonitor
+from repro.instrument.records import FrameLog
+from repro.util.errors import ValidationError
+
+
+def save_log(monitor: EdgeMLMonitor, root: str | Path) -> int:
+    """Persist a monitor's frames; returns total bytes written."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "name": monitor.name,
+        "per_layer": monitor.per_layer,
+        "num_frames": len(monitor.frames),
+        "monitor_overhead_ms": monitor.monitor_overhead_ms,
+        "version": 1,
+    }
+    frames_doc = []
+    arrays: dict[str, np.ndarray] = {}
+    for frame in monitor.frames:
+        frames_doc.append({
+            "step": frame.step,
+            "latency_ms": frame.latency_ms,
+            "wall_ms": frame.wall_ms,
+            "memory_mb": frame.memory_mb,
+            "scalars": frame.scalars,
+            "sensors": {k: _jsonable(v) for k, v in frame.sensors.items()},
+            "tensor_keys": sorted(frame.tensors),
+            "layer_latency_ms": frame.layer_latency_ms,
+            "layer_ops": frame.layer_ops,
+        })
+        for key, value in frame.tensors.items():
+            arrays[f"{frame.step:06d}::{key}"] = value
+    (root / "meta.json").write_text(json.dumps(meta, indent=2))
+    (root / "frames.json").write_text(json.dumps(frames_doc))
+    if arrays:
+        np.savez_compressed(root / "tensors.npz", **arrays)
+    return sum(p.stat().st_size for p in root.iterdir() if p.is_file())
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+class EXrayLog:
+    """Reader over a persisted (or in-memory) EXray log stream."""
+
+    def __init__(self, name: str, per_layer: bool, frames: list[FrameLog],
+                 log_bytes: int = 0, monitor_overhead_ms: float = 0.0):
+        self.name = name
+        self.per_layer = per_layer
+        self.frames = frames
+        self.log_bytes = log_bytes
+        self.monitor_overhead_ms = monitor_overhead_ms
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def load(cls, root: str | Path) -> "EXrayLog":
+        """Load a log directory written by :func:`save_log`."""
+        root = Path(root)
+        meta_path = root / "meta.json"
+        if not meta_path.exists():
+            raise ValidationError(f"no EXray log at {root}")
+        meta = json.loads(meta_path.read_text())
+        frames_doc = json.loads((root / "frames.json").read_text())
+        tensors_path = root / "tensors.npz"
+        arrays: dict[str, np.ndarray] = {}
+        if tensors_path.exists():
+            with np.load(tensors_path) as data:
+                arrays = {key: data[key] for key in data.files}
+        frames = []
+        for doc in frames_doc:
+            frame = FrameLog(
+                step=doc["step"], latency_ms=doc["latency_ms"],
+                wall_ms=doc["wall_ms"], memory_mb=doc["memory_mb"],
+                scalars=dict(doc["scalars"]), sensors=dict(doc["sensors"]),
+                layer_latency_ms=dict(doc.get("layer_latency_ms", {})),
+                layer_ops=dict(doc.get("layer_ops", {})),
+            )
+            for key in doc["tensor_keys"]:
+                frame.tensors[key] = arrays[f"{frame.step:06d}::{key}"]
+            frames.append(frame)
+        log_bytes = sum(p.stat().st_size for p in root.iterdir() if p.is_file())
+        return cls(meta["name"], meta["per_layer"], frames, log_bytes,
+                   meta.get("monitor_overhead_ms", 0.0))
+
+    @classmethod
+    def from_monitor(cls, monitor: EdgeMLMonitor) -> "EXrayLog":
+        """Zero-copy view over an in-memory monitor (no disk round-trip)."""
+        return cls(monitor.name, monitor.per_layer, monitor.frames,
+                   monitor_overhead_ms=monitor.monitor_overhead_ms)
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def tensor_series(self, key: str) -> list[np.ndarray]:
+        """The value of one tensor key across all frames (must exist in each)."""
+        return [frame.tensor(key) for frame in self.frames]
+
+    def stacked(self, key: str) -> np.ndarray:
+        """Tensor series stacked on a new frame axis (frames, ...)."""
+        return np.stack(self.tensor_series(key))
+
+    def scalar_series(self, key: str) -> np.ndarray:
+        return np.array([frame.scalars[key] for frame in self.frames])
+
+    def layer_names(self) -> list[str]:
+        """Names of per-layer-logged layers, in execution order."""
+        if not self.frames:
+            return []
+        frame = self.frames[0]
+        ordered = list(frame.layer_latency_ms)
+        return [n for n in ordered if f"layer/{n}" in frame.tensors]
+
+    def layer_output(self, layer: str, frame_idx: int = 0) -> np.ndarray:
+        return self.frames[frame_idx].tensor(f"layer/{layer}")
+
+    def layer_latency_by_type(self) -> dict[str, float]:
+        """Mean-per-frame total latency per op type (the Table 4 rows)."""
+        totals: dict[str, float] = {}
+        for frame in self.frames:
+            for layer, ms in frame.layer_latency_ms.items():
+                op = frame.layer_ops.get(layer, "?")
+                totals[op] = totals.get(op, 0.0) + ms
+        n = max(len(self.frames), 1)
+        return {op: total / n for op, total in totals.items()}
+
+    def mean_latency_ms(self) -> float:
+        return float(np.mean([f.latency_ms for f in self.frames]))
+
+    def peak_memory_mb(self) -> float:
+        return float(max((f.memory_mb for f in self.frames), default=0.0))

@@ -1,0 +1,107 @@
+"""Shared kernel helpers: padding arithmetic and window extraction.
+
+All image kernels in this library use the NHWC layout (batch, height, width,
+channels) and TensorFlow-style padding semantics, because that is the layout
+and convention of the TFLite models the paper instruments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import KernelError
+
+Padding = str | tuple[tuple[int, int], tuple[int, int]]
+
+
+def normalize_stride(stride: int | tuple[int, int]) -> tuple[int, int]:
+    """Accept a scalar or (sh, sw) stride and return (sh, sw)."""
+    if isinstance(stride, int):
+        if stride < 1:
+            raise KernelError(f"stride must be >= 1, got {stride}")
+        return stride, stride
+    sh, sw = stride
+    if sh < 1 or sw < 1:
+        raise KernelError(f"stride must be >= 1, got {stride}")
+    return int(sh), int(sw)
+
+
+def same_padding(size: int, kernel: int, stride: int) -> tuple[int, int]:
+    """TF 'SAME' padding for one spatial dim: output = ceil(size / stride).
+
+    Returns (pad_before, pad_after); the asymmetric extra pixel goes after,
+    matching TensorFlow/TFLite behaviour.
+    """
+    out = -(-size // stride)  # ceil division
+    total = max((out - 1) * stride + kernel - size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def resolve_padding(
+    padding: Padding,
+    in_h: int,
+    in_w: int,
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """Resolve a padding spec to explicit ((top, bottom), (left, right))."""
+    if isinstance(padding, str):
+        mode = padding.lower()
+        if mode == "valid":
+            return (0, 0), (0, 0)
+        if mode == "same":
+            return same_padding(in_h, kh, sh), same_padding(in_w, kw, sw)
+        raise KernelError(f"unknown padding mode {padding!r}")
+    (top, bottom), (left, right) = padding
+    if min(top, bottom, left, right) < 0:
+        raise KernelError(f"negative padding {padding!r}")
+    return (int(top), int(bottom)), (int(left), int(right))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: tuple[int, int]) -> int:
+    """Output spatial size of a convolution/pool along one dimension."""
+    padded = size + pad[0] + pad[1]
+    if padded < kernel:
+        raise KernelError(
+            f"window {kernel} larger than padded input {padded} (size={size}, pad={pad})"
+        )
+    return (padded - kernel) // stride + 1
+
+
+def extract_patches(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    pad: tuple[tuple[int, int], tuple[int, int]],
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Extract sliding windows from an NHWC tensor.
+
+    Returns an array of shape (N, out_h, out_w, kh, kw, C). This is the
+    vectorized core of every convolution and pooling kernel (the "im2col"
+    step), implemented with :func:`numpy.lib.stride_tricks.sliding_window_view`
+    so no Python-level loops run over pixels.
+    """
+    if x.ndim != 4:
+        raise KernelError(f"expected NHWC input, got shape {x.shape}")
+    (pt, pb), (pl, pr) = pad
+    if pt or pb or pl or pr:
+        x = np.pad(
+            x,
+            ((0, 0), (pt, pb), (pl, pr), (0, 0)),
+            mode="constant",
+            constant_values=pad_value,
+        )
+    n, h, w, c = x.shape
+    if h < kh or w < kw:
+        raise KernelError(f"window ({kh},{kw}) larger than padded input ({h},{w})")
+    # (N, H-kh+1, W-kw+1, C, kh, kw)
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(1, 2))
+    windows = windows[:, ::sh, ::sw]
+    # -> (N, out_h, out_w, kh, kw, C)
+    return np.ascontiguousarray(windows.transpose(0, 1, 2, 4, 5, 3))

@@ -1,0 +1,27 @@
+"""Task metrics used by accuracy validation and the benchmark harness."""
+
+from repro.metrics.classification import (
+    confusion_matrix,
+    top_1_accuracy,
+    top_k_accuracy,
+)
+from repro.metrics.detection import (
+    DetectionResult,
+    average_precision,
+    iou,
+    mean_average_precision,
+    non_max_suppression,
+)
+from repro.metrics.segmentation import mean_iou
+
+__all__ = [
+    "DetectionResult",
+    "average_precision",
+    "confusion_matrix",
+    "iou",
+    "mean_average_precision",
+    "mean_iou",
+    "non_max_suppression",
+    "top_1_accuracy",
+    "top_k_accuracy",
+]

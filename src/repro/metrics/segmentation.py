@@ -1,0 +1,16 @@
+"""Segmentation metric: mean intersection-over-union."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.classification import confusion_matrix
+
+
+def mean_iou(pred: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Mean per-class IoU over dense predictions (ignores absent classes)."""
+    mat = confusion_matrix(pred, labels, num_classes).astype(np.float64)
+    tp = np.diag(mat)
+    denom = mat.sum(axis=0) + mat.sum(axis=1) - tp
+    present = denom > 0
+    return float((tp[present] / denom[present]).mean())

@@ -1,0 +1,50 @@
+"""Reference pipelines: known-correct replay environments (§3.3).
+
+A reference pipeline is an :class:`~repro.pipelines.edge.EdgeApp` configured
+from the model's own recorded recipe (so the §2 "mismatching assumptions"
+trap cannot occur), running the requested model *version* — checkpoint,
+mobile, or quantized — on the workstation device with per-layer logging.
+
+ML-EXray ships correct reference pipelines for the well-defined tasks
+(classification, detection, segmentation, speech, text) and accepts
+user-defined ones: pass any preprocess/postprocess pair to ``EdgeApp``
+directly (the lane-detection example in ``examples/custom_task_validation.py``
+does exactly that).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.instrument.monitor import EdgeMLMonitor
+from repro.perfmodel.device import WORKSTATION
+from repro.pipelines.edge import EdgeApp, make_preprocess
+from repro.runtime.resolver import BaseOpResolver
+from repro.util.errors import ValidationError
+
+
+def build_reference_app(
+    graph: Graph,
+    per_layer: bool = True,
+    resolver: BaseOpResolver | None = None,
+    preprocess=None,
+) -> EdgeApp:
+    """Construct the reference pipeline for a model graph.
+
+    The graph must carry its pipeline recipe in ``metadata["pipeline"]``
+    (every zoo export does); ``preprocess`` overrides it for user-defined
+    reference pipelines.
+    """
+    meta = graph.metadata.get("pipeline")
+    if meta is None and preprocess is None:
+        raise ValidationError(
+            "graph has no pipeline metadata; pass an explicit preprocess "
+            "to define a custom reference pipeline"
+        )
+    monitor = EdgeMLMonitor(name="reference", per_layer=per_layer)
+    return EdgeApp(
+        graph,
+        preprocess=preprocess or make_preprocess(meta),
+        device=WORKSTATION,
+        resolver=resolver,
+        monitor=monitor,
+    )

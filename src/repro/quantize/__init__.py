@@ -1,0 +1,22 @@
+"""Post-training quantization: parameters, calibration, and conversion math.
+
+The full-integer model conversion pass (which consumes these primitives to
+rewrite a float graph into an int8 graph) lives in
+:mod:`repro.convert.quantize_graph`.
+"""
+
+from repro.quantize.calibrate import RangeObserver
+from repro.quantize.params import (
+    QuantParams,
+    choose_qparams,
+    choose_qparams_per_channel,
+    dtype_range,
+)
+
+__all__ = [
+    "QuantParams",
+    "RangeObserver",
+    "choose_qparams",
+    "choose_qparams_per_channel",
+    "dtype_range",
+]

@@ -1,0 +1,19 @@
+"""The edge inference runtime: interpreter and op resolvers."""
+
+from repro.runtime.interpreter import (
+    ExecContext,
+    Interpreter,
+    LayerRecord,
+    node_is_quantized,
+)
+from repro.runtime.resolver import BaseOpResolver, OpResolver, ReferenceOpResolver
+
+__all__ = [
+    "BaseOpResolver",
+    "ExecContext",
+    "Interpreter",
+    "LayerRecord",
+    "OpResolver",
+    "ReferenceOpResolver",
+    "node_is_quantized",
+]

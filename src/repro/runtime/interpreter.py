@@ -1,0 +1,235 @@
+"""The inference interpreter: executes a graph node by node.
+
+This is the analogue of the TFLite interpreter the paper instruments. It
+exposes exactly the observation surface ML-EXray needs:
+
+* **observer hooks** invoked after every node with the node, its raw output,
+  and its (simulated) latency — the per-layer logging channel (§3.2);
+* **latency accounting** per node, produced by the device performance model
+  when a :class:`~repro.perfmodel.device.Device` is attached, else from the
+  wall clock;
+* **memory accounting**: attached-weight bytes plus peak live activation
+  bytes under a reference-counted arena, the "memory footprint" metric of
+  Tables 2/3/5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.spec import TensorSpec
+from repro.perfmodel.device import Device
+from repro.perfmodel.work import OP_CLASS, node_work
+from repro.runtime.resolver import BaseOpResolver, OpResolver
+from repro.util.errors import GraphError, ShapeError
+
+
+def node_is_quantized(graph: Graph, node: Node) -> bool:
+    """Whether a node executes in the quantized domain."""
+    if node.op == "quantize":
+        return False  # consumes float input; handled by the bridge executor
+    if node.op == "dequantize":
+        return True
+    return graph.spec(node.output).quant is not None
+
+
+@dataclass(frozen=True)
+class LayerRecord:
+    """Observation of one executed node, delivered to observers."""
+
+    index: int
+    node: Node
+    spec: TensorSpec
+    output: np.ndarray
+    latency_ms: float
+    wall_ms: float
+    quantized: bool
+
+
+@dataclass
+class ExecContext:
+    """Execution context handed to op executors."""
+
+    graph: Graph
+    resolver: BaseOpResolver
+
+    @property
+    def bugs(self):
+        return self.resolver.bugs
+
+    @property
+    def qkernels(self):
+        return self.resolver.qkernels
+
+
+class Interpreter:
+    """Executes a :class:`~repro.graph.graph.Graph` over numpy feeds.
+
+    Parameters
+    ----------
+    graph:
+        The model to execute (validated at construction).
+    resolver:
+        Kernel resolver; defaults to the optimized builtin resolver.
+    device:
+        Optional simulated device. When given, per-layer latency comes from
+        the device cost model; otherwise real wall-clock time is reported.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        resolver: BaseOpResolver | None = None,
+        device: Device | None = None,
+    ):
+        graph.validate()
+        self.graph = graph
+        self.resolver = resolver or OpResolver()
+        self.device = device
+        self._observers: list = []
+        self._ctx = ExecContext(graph=graph, resolver=self.resolver)
+        # Results of the most recent invoke().
+        self.last_latency_ms: float = 0.0
+        self.last_wall_ms: float = 0.0
+        self.last_peak_activation_bytes: int = 0
+        self.last_profile: list[dict] = []
+
+    # ------------------------------------------------------------- observers
+    def add_observer(self, fn) -> None:
+        """Register a callback invoked with a :class:`LayerRecord` per node."""
+        self._observers.append(fn)
+
+    def remove_observer(self, fn) -> None:
+        self._observers.remove(fn)
+
+    # ----------------------------------------------------------------- sizes
+    def weights_bytes(self) -> int:
+        """Total bytes of parameters attached to the graph."""
+        return self.graph.param_bytes()
+
+    def model_memory_bytes(self) -> int:
+        """Weights plus the peak activation arena of the last invoke."""
+        return self.weights_bytes() + self.last_peak_activation_bytes
+
+    # ---------------------------------------------------------------- invoke
+    def invoke(
+        self, feeds: np.ndarray | dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Run the graph; returns a dict of output tensors by name."""
+        values = self._prepare_feeds(feeds)
+        refcounts = self._initial_refcounts()
+        keep = set(self.graph.outputs)
+
+        live_bytes = sum(int(v.nbytes) for v in values.values())
+        peak = live_bytes
+        profile: list[dict] = []
+        total_latency = 0.0
+        t_start = time.perf_counter()
+
+        for index, node in enumerate(self.graph.nodes):
+            inputs = [values[t] for t in node.inputs]
+            quantized = node_is_quantized(self.graph, node)
+            executor = self.resolver.lookup(node.op, quantized)
+            t0 = time.perf_counter()
+            out = executor(node, inputs, self._ctx)
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            out = np.asarray(out)
+
+            latency_ms = self._simulated_latency(node, quantized, out) \
+                if self.device is not None else wall_ms
+            total_latency += latency_ms
+
+            values[node.output] = out
+            live_bytes += int(out.nbytes)
+            peak = max(peak, live_bytes)
+
+            spec = self.graph.spec(node.output)
+            record = LayerRecord(
+                index=index, node=node, spec=spec, output=out,
+                latency_ms=latency_ms, wall_ms=wall_ms, quantized=quantized,
+            )
+            for observer in self._observers:
+                observer(record)
+            profile.append({
+                "index": index,
+                "name": node.name,
+                "op": node.op,
+                "op_class": OP_CLASS.get(node.op, "other"),
+                "quantized": quantized,
+                "latency_ms": latency_ms,
+                "wall_ms": wall_ms,
+                "output_bytes": int(out.nbytes),
+            })
+
+            # Reference-counted arena: free tensors after their last consumer.
+            for t in node.inputs:
+                refcounts[t] -= 1
+                if refcounts[t] == 0 and t not in keep and t in values:
+                    live_bytes -= int(values[t].nbytes)
+                    del values[t]
+
+        self.last_latency_ms = total_latency
+        self.last_wall_ms = (time.perf_counter() - t_start) * 1e3
+        self.last_peak_activation_bytes = peak
+        self.last_profile = profile
+        missing = [t for t in self.graph.outputs if t not in values]
+        if missing:
+            raise GraphError(f"outputs never produced: {missing}")
+        return {t: values[t] for t in self.graph.outputs}
+
+    def invoke_single(self, x: np.ndarray) -> np.ndarray:
+        """Run the graph and return its (single) output tensor."""
+        outputs = self.invoke(x)
+        if len(outputs) != 1:
+            raise GraphError(
+                f"invoke_single on graph with {len(outputs)} outputs; use invoke()"
+            )
+        return next(iter(outputs.values()))
+
+    # --------------------------------------------------------------- helpers
+    def _prepare_feeds(
+        self, feeds: np.ndarray | dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        if isinstance(feeds, np.ndarray):
+            if len(self.graph.inputs) != 1:
+                raise ShapeError(
+                    f"graph has {len(self.graph.inputs)} inputs; pass a dict"
+                )
+            feeds = {self.graph.inputs[0]: feeds}
+        values: dict[str, np.ndarray] = {}
+        for name in self.graph.inputs:
+            if name not in feeds:
+                raise ShapeError(f"missing feed for input {name!r}")
+            arr = np.asarray(feeds[name])
+            spec = self.graph.spec(name)
+            if spec.dtype.startswith("float"):
+                arr = arr.astype(np.float32, copy=False)
+            spec.check(arr)
+            values[name] = arr
+        return values
+
+    def _initial_refcounts(self) -> dict[str, int]:
+        counts: dict[str, int] = {t: 0 for t in self.graph.tensors}
+        for node in self.graph.nodes:
+            for t in node.inputs:
+                counts[t] += 1
+        return counts
+
+    def _simulated_latency(
+        self, node: Node, quantized: bool, out: np.ndarray
+    ) -> float:
+        batch = int(out.shape[0]) if out.ndim else 1
+        work = node_work(self.graph, node, batch=batch)
+        return self.device.layer_latency_ms(
+            OP_CLASS.get(node.op, "act"),
+            "int8" if quantized else "float",
+            self.resolver.kind if self.resolver.kind in ("optimized", "reference")
+            else "optimized",
+            work.macs,
+            work.elements,
+        )

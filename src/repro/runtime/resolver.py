@@ -1,0 +1,93 @@
+"""Op resolvers: select which kernel implementation executes each node.
+
+Mirrors TFLite's design (§4.4):
+
+* :class:`OpResolver` — the builtin resolver invoking **optimized kernels**
+  (the production path);
+* :class:`ReferenceOpResolver` — the builtin resolver invoking **reference
+  kernels** (the debugging path, drastically slower on-device);
+* custom resolvers — "advanced users have the option to create their own
+  OpResolver which could invoke their custom ops and kernels": construct a
+  resolver and call :meth:`BaseOpResolver.register`.
+
+Both builtin resolvers accept a :class:`~repro.kernels.quantized.bugs.KernelBugs`
+configuration; the paper-era TFLite behaviour is obtained with
+``OpResolver(bugs=PAPER_OPTIMIZED_BUGS)`` /
+``ReferenceOpResolver(bugs=PAPER_REFERENCE_BUGS)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from types import ModuleType
+
+import numpy as np
+
+from repro.graph.node import Node
+from repro.kernels.quantized import optimized as _qopt
+from repro.kernels.quantized import reference as _qref
+from repro.kernels.quantized.bugs import NO_BUGS, KernelBugs
+from repro.runtime.executors_float import FLOAT_EXECUTORS
+from repro.runtime.executors_quant import QUANT_EXECUTORS
+from repro.util.errors import GraphError
+
+Executor = Callable[[Node, list[np.ndarray], "object"], np.ndarray]
+
+
+class BaseOpResolver:
+    """Maps (op type, quantized?) to an executor function.
+
+    Attributes
+    ----------
+    kind:
+        "optimized" or "reference" — consumed by the performance model, which
+        charges reference kernels their on-device slowdown (Table 4).
+    bugs:
+        Kernel-bug injection flags threaded into quantized kernels.
+    """
+
+    kind: str = "custom"
+
+    def __init__(self, bugs: KernelBugs = NO_BUGS, qkernels: ModuleType = _qopt):
+        self.bugs = bugs
+        self.qkernels = qkernels
+        self._registry: dict[tuple[str, bool], Executor] = {}
+        for op, fn in FLOAT_EXECUTORS.items():
+            self._registry[(op, False)] = fn
+        for op, fn in QUANT_EXECUTORS.items():
+            self._registry[(op, True)] = fn
+        # quantize/dequantize bridge nodes appear in otherwise-float regions.
+        self._registry[("quantize", False)] = QUANT_EXECUTORS["quantize"]
+        self._registry[("dequantize", False)] = QUANT_EXECUTORS["dequantize"]
+
+    def register(self, op: str, quantized: bool, fn: Executor) -> None:
+        """Register (or override) the executor for an op — the custom-op hook."""
+        self._registry[(op, quantized)] = fn
+
+    def lookup(self, op: str, quantized: bool) -> Executor:
+        """Find the executor for an op, or raise :class:`GraphError`."""
+        try:
+            return self._registry[(op, quantized)]
+        except KeyError:
+            mode = "quantized" if quantized else "float"
+            raise GraphError(
+                f"resolver {type(self).__name__} has no {mode} kernel for op {op!r}"
+            ) from None
+
+
+class OpResolver(BaseOpResolver):
+    """Builtin resolver invoking optimized (production) kernels."""
+
+    kind = "optimized"
+
+    def __init__(self, bugs: KernelBugs = NO_BUGS):
+        super().__init__(bugs=bugs, qkernels=_qopt)
+
+
+class ReferenceOpResolver(BaseOpResolver):
+    """Builtin resolver invoking reference (debugging) kernels."""
+
+    kind = "reference"
+
+    def __init__(self, bugs: KernelBugs = NO_BUGS):
+        super().__init__(bugs=bugs, qkernels=_qref)

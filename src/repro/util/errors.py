@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a model graph (bad wiring, unknown op, cycle)."""
+
+
+class ShapeError(GraphError):
+    """Tensor shape or dtype mismatch detected during inference or execution."""
+
+
+class KernelError(ReproError):
+    """A kernel was invoked with arguments it cannot handle."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters are invalid or calibration failed."""
+
+
+class ValidationError(ReproError):
+    """Deployment-validation machinery was misused (missing logs, key absent)."""
+
+
+class AssertionFailure(ReproError):
+    """A deployment assertion fired: a deployment bug was detected.
+
+    This mirrors the paper's user-written ``raise AssertionError('BGR->RGB')``
+    pattern, but with a dedicated type carrying structured diagnosis.
+
+    Attributes
+    ----------
+    check:
+        Short machine-readable name of the assertion that fired
+        (e.g. ``"channel_arrangement"``).
+    diagnosis:
+        Human-readable root-cause message (e.g. ``"BGR->RGB"``).
+    details:
+        Optional free-form dict with evidence (error norms, layer index, ...).
+    """
+
+    def __init__(self, check: str, diagnosis: str, details: dict | None = None):
+        super().__init__(f"[{check}] {diagnosis}")
+        self.check = check
+        self.diagnosis = diagnosis
+        self.details = dict(details or {})

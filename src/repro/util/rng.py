@@ -1,0 +1,40 @@
+"""Deterministic random-number management.
+
+All synthetic data, weight initialization, and training in this repository is
+seeded through :func:`derive_rng` so that every experiment is exactly
+reproducible: the same (seed, labels) pair always yields the same stream, and
+distinct labels yield decorrelated streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def stable_hash(*labels: object) -> int:
+    """Return a stable 63-bit integer hash of the given labels.
+
+    Unlike the builtin ``hash``, this does not vary across processes
+    (``PYTHONHASHSEED``) or Python versions, which is what makes cached
+    trained weights and generated datasets reproducible across runs.
+    """
+    text = "\x1f".join(repr(label) for label in labels)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def derive_rng(seed: int, *labels: object) -> np.random.Generator:
+    """Derive an independent :class:`numpy.random.Generator` from a base seed.
+
+    Parameters
+    ----------
+    seed:
+        Experiment-level base seed.
+    labels:
+        Any hashable description of the consumer ("dataset", split index,
+        model name, ...). Different labels give statistically independent
+        streams even for the same base seed.
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed, stable_hash(*labels)]))

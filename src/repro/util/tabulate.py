@@ -1,0 +1,49 @@
+"""Tiny plain-text table renderer for benchmark output and validation reports.
+
+We deliberately do not depend on third-party pretty-printers; the benchmark
+harness must print the same rows/series the paper reports using only the
+standard library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[object],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    str_headers = [_cell(h) for h in headers]
+    ncols = len(str_headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row}")
+    widths = [
+        max(len(str_headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(str_headers[c])
+        for c in range(ncols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(str_headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Per-layer output validation: the paper's normalized-rMSE analysis (§3.4).
+
+Given edge and reference logs with per-layer tensors, compute for each layer
+
+    nrMSE = rMSE / (max_i(e_i) - min_i(e_i))
+
+where *e* is the reference layer output — rMSE normalized by the layer
+output scale. A jump of nrMSE after a particular op localizes the bug: at
+the model input it is a preprocessing issue; at an internal layer it is an
+op/quantization issue (Figure 6). The error function is pluggable, as the
+paper specifies ("the ML-EXray framework allows easy extension to other
+error functions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.instrument.store import EXrayLog
+from repro.util.errors import ValidationError
+
+
+def rmse(edge: np.ndarray, ref: np.ndarray) -> float:
+    """Root-mean-square error between two tensors."""
+    edge = np.asarray(edge, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if edge.shape != ref.shape:
+        raise ValidationError(f"shape mismatch {edge.shape} vs {ref.shape}")
+    return float(np.sqrt(np.mean((edge - ref) ** 2)))
+
+
+def normalized_rmse(edge: np.ndarray, ref: np.ndarray) -> float:
+    """rMSE normalized by the reference layer's output scale (paper §3.4)."""
+    ref = np.asarray(ref, dtype=np.float64)
+    span = float(ref.max() - ref.min())
+    if span <= 0:
+        # Degenerate reference (constant layer output): fall back to rMSE so
+        # a real discrepancy still registers.
+        span = 1.0
+    return rmse(edge, ref) / span
+
+
+def max_abs_error(edge: np.ndarray, ref: np.ndarray) -> float:
+    """Worst-case elementwise deviation."""
+    return float(np.max(np.abs(np.asarray(edge, np.float64) - np.asarray(ref, np.float64))))
+
+
+def mean_abs_error(edge: np.ndarray, ref: np.ndarray) -> float:
+    """Mean elementwise deviation."""
+    return float(np.mean(np.abs(np.asarray(edge, np.float64) - np.asarray(ref, np.float64))))
+
+
+def cosine_distance(edge: np.ndarray, ref: np.ndarray) -> float:
+    """1 - cosine similarity of the flattened tensors."""
+    a = np.asarray(edge, np.float64).ravel()
+    b = np.asarray(ref, np.float64).ravel()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0 if np.allclose(a, b) else 1.0
+    return float(1.0 - (a @ b) / denom)
+
+
+ERROR_FUNCTIONS = {
+    "nrmse": normalized_rmse,
+    "rmse": rmse,
+    "max_abs": max_abs_error,
+    "mean_abs": mean_abs_error,
+    "cosine": cosine_distance,
+}
+
+
+@dataclass(frozen=True)
+class LayerDiff:
+    """Per-layer discrepancy between edge and reference executions."""
+
+    index: int
+    layer: str
+    op: str
+    error: float
+
+
+def per_layer_diff(
+    edge_log: EXrayLog,
+    ref_log: EXrayLog,
+    error_fn: str = "nrmse",
+    max_frames: int | None = None,
+) -> list[LayerDiff]:
+    """Compare per-layer outputs of two logs, frame-averaged, in layer order.
+
+    Layers are matched by name (the quantization pass preserves tensor
+    names precisely so this alignment holds across deployment stages);
+    layers present in only one log are skipped.
+    """
+    try:
+        fn = ERROR_FUNCTIONS[error_fn]
+    except KeyError:
+        raise ValidationError(
+            f"unknown error function {error_fn!r}; "
+            f"available: {sorted(ERROR_FUNCTIONS)}"
+        ) from None
+    edge_layers = edge_log.layer_names()
+    ref_layers = set(ref_log.layer_names())
+    common = [name for name in edge_layers if name in ref_layers]
+    if not common:
+        raise ValidationError(
+            "no common per-layer logs; run both pipelines with per_layer=True"
+        )
+    n_frames = min(len(edge_log), len(ref_log))
+    if max_frames is not None:
+        n_frames = min(n_frames, max_frames)
+    if n_frames == 0:
+        raise ValidationError("logs contain no frames")
+    diffs = []
+    ops = edge_log.frames[0].layer_ops
+    for index, layer in enumerate(common):
+        errors = [
+            fn(edge_log.layer_output(layer, i), ref_log.layer_output(layer, i))
+            for i in range(n_frames)
+        ]
+        diffs.append(LayerDiff(index=index, layer=layer,
+                               op=ops.get(layer, "?"),
+                               error=float(np.mean(errors))))
+    return diffs
+
+
+def locate_discrepancies(
+    diffs: list[LayerDiff],
+    threshold: float = 0.1,
+    jump_factor: float = 3.0,
+) -> list[LayerDiff]:
+    """Flag layers where the error is large and *jumps* relative to upstream.
+
+    A layer is suspicious when its error exceeds ``threshold`` and is at
+    least ``jump_factor`` times the running error level before it — the
+    "jump of nrMSE after a particular op" criterion of §3.4.
+    """
+    flagged = []
+    running = 1e-6
+    for diff in diffs:
+        if diff.error > threshold and diff.error > jump_factor * running:
+            flagged.append(diff)
+        running = max(running, diff.error)
+    return flagged

@@ -1,0 +1,156 @@
+"""The deployment-validation session: Figure 2's flowchart, executable.
+
+1. **Accuracy validation** — match the edge pipeline's task metric against
+   the reference pipeline on the same (played-back) data.
+2. **Per-layer validation** — if accuracy dropped, scrutinize layer-level
+   outputs with normalized rMSE and locate the first discrepancy.
+3. **Root-cause analysis** — run built-in and user-defined assertion
+   functions; failed assertions carry the diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instrument.store import EXrayLog
+from repro.util.errors import ValidationError
+from repro.util.tabulate import format_table
+from repro.validate.accuracy import (
+    AccuracyReport,
+    classification_accuracy_from_log,
+    validate_accuracy,
+)
+from repro.validate.assertions import (
+    AssertionResult,
+    DeploymentAssertion,
+    FunctionAssertion,
+    ValidationContext,
+    default_assertions,
+)
+from repro.validate.layerdiff import LayerDiff, locate_discrepancies, per_layer_diff
+
+
+@dataclass
+class ValidationReport:
+    """Everything a DebugSession found, renderable as a text report."""
+
+    accuracy: AccuracyReport | None
+    layer_diffs: list[LayerDiff] = field(default_factory=list)
+    flagged_layers: list[LayerDiff] = field(default_factory=list)
+    assertions: list[AssertionResult] = field(default_factory=list)
+
+    @property
+    def issues(self) -> list[AssertionResult]:
+        """Failed assertions — the root causes ML-EXray reports."""
+        return [a for a in self.assertions if not a.passed]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.issues and (
+            self.accuracy is None or not self.accuracy.degraded
+        )
+
+    def render(self) -> str:
+        lines = ["=== ML-EXray deployment validation report ==="]
+        if self.accuracy is not None:
+            lines.append(self.accuracy.render())
+        if self.flagged_layers:
+            rows = [(d.index, d.layer, d.op, f"{d.error:.4f}")
+                    for d in self.flagged_layers]
+            lines.append(format_table(
+                ("layer#", "name", "op", "nrMSE"), rows,
+                title="per-layer discrepancies (drift jumps):"))
+        elif self.layer_diffs:
+            worst = max(self.layer_diffs, key=lambda d: d.error)
+            lines.append(
+                f"per-layer drift: max nrMSE {worst.error:.4f} at layer "
+                f"{worst.index} ({worst.layer}) — no suspicious jumps")
+        for result in self.assertions:
+            lines.append(result.render())
+        verdict = "HEALTHY" if self.healthy else (
+            f"{len(self.issues)} issue(s) found")
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+class DebugSession:
+    """Compare an edge log against a reference log and diagnose issues.
+
+    Parameters
+    ----------
+    edge_log / ref_log:
+        Instrumented runs over the same played-back data.
+    task:
+        Selects the built-in assertion suite and default accuracy metric.
+    accuracy_metric:
+        Optional custom metric (log -> float), e.g. mAP for detection.
+    tolerance:
+        Permitted edge-vs-reference metric drop before the fine-grained
+        analysis triggers.
+    """
+
+    def __init__(
+        self,
+        edge_log: EXrayLog,
+        ref_log: EXrayLog,
+        task: str = "classification",
+        accuracy_metric=None,
+        tolerance: float = 0.02,
+        extras: dict | None = None,
+    ):
+        self.edge_log = edge_log
+        self.ref_log = ref_log
+        self.task = task
+        self.accuracy_metric = accuracy_metric
+        self.tolerance = tolerance
+        self.extras = dict(extras or {})
+
+    def run(
+        self,
+        assertions: list | None = None,
+        error_fn: str = "nrmse",
+        always_run_assertions: bool = False,
+        drift_threshold: float = 0.1,
+    ) -> ValidationReport:
+        """Execute the three-stage flowchart and return the report.
+
+        ``assertions`` extends/overrides the task's built-in suite; plain
+        functions are wrapped automatically. By default assertions and
+        per-layer analysis only run when accuracy degraded (the flowchart's
+        conditional edge); ``always_run_assertions`` forces them.
+        """
+        # Stage 1: accuracy validation.
+        accuracy: AccuracyReport | None = None
+        metric = self.accuracy_metric
+        if metric is None and self.task in ("classification", "speech", "text"):
+            metric = classification_accuracy_from_log
+        if metric is not None:
+            try:
+                accuracy = validate_accuracy(
+                    self.edge_log, self.ref_log, metric, self.tolerance)
+            except (KeyError, ValidationError):
+                accuracy = None  # labels/outputs not logged: skip the gate
+
+        suspicious = accuracy.degraded if accuracy is not None else True
+        report = ValidationReport(accuracy=accuracy)
+        if not suspicious and not always_run_assertions:
+            return report
+
+        # Stage 2: per-layer drift localization (when layer logs exist).
+        if self.edge_log.layer_names() and self.ref_log.layer_names():
+            report.layer_diffs = per_layer_diff(
+                self.edge_log, self.ref_log, error_fn=error_fn)
+            report.flagged_layers = locate_discrepancies(
+                report.layer_diffs, threshold=drift_threshold)
+
+        # Stage 3: root-cause assertions.
+        suite: list[DeploymentAssertion] = default_assertions(self.task)
+        for extra in assertions or []:
+            if isinstance(extra, DeploymentAssertion):
+                suite.append(extra)
+            else:
+                suite.append(FunctionAssertion(extra))
+        ctx = ValidationContext(
+            self.edge_log, self.ref_log, report.layer_diffs, self.extras)
+        report.assertions = [assertion.run(ctx) for assertion in suite]
+        return report

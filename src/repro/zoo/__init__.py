@@ -1,0 +1,34 @@
+"""Model zoo: micro versions of the paper's model families, trained from
+scratch on the synthetic datasets and exported at every deployment stage."""
+
+from repro.zoo.registry import (
+    IMAGE_CLASSIFIERS,
+    SEED,
+    ZooEntry,
+    build_checkpoint,
+    calibration_batches,
+    eval_data,
+    get_entry,
+    get_model,
+    get_trained,
+    list_models,
+    preprocess_images,
+    speech_features,
+    training_data,
+)
+
+__all__ = [
+    "IMAGE_CLASSIFIERS",
+    "SEED",
+    "ZooEntry",
+    "build_checkpoint",
+    "calibration_batches",
+    "eval_data",
+    "get_entry",
+    "get_model",
+    "get_trained",
+    "list_models",
+    "preprocess_images",
+    "speech_features",
+    "training_data",
+]

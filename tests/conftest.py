@@ -1,0 +1,73 @@
+"""Shared fixtures: deterministic RNG, hand-built graphs, and zoo access.
+
+Zoo-backed fixtures rely on the on-disk training cache
+(``.cache/zoo``); the first test session trains the models it needs
+(seeded, deterministic) and later sessions reuse the cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.convert import convert_to_mobile, quantize_graph
+from repro.graph import GraphBuilder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def build_small_cnn(rng: np.random.Generator, num_classes: int = 4,
+                    in_hw: int = 8):
+    """A checkpoint-style CNN exercising conv/bn/act/dw/residual/gap/dense."""
+    b = GraphBuilder("small_cnn", metadata={"task": "classification"})
+    x = b.input("input", (None, in_hw, in_hw, 3))
+
+    def weights(shape, scale=0.4):
+        return rng.normal(0, scale, shape).astype(np.float32)
+
+    h = b.conv2d(x, weights((3, 3, 3, 8)), stride=2, name="stem")
+    h = b.batch_norm(h, rng.normal(0, 0.2, 8).astype(np.float32),
+                     np.abs(rng.normal(1, 0.2, 8)).astype(np.float32) + 0.2,
+                     np.ones(8, np.float32), np.zeros(8, np.float32),
+                     name="stem_bn")
+    h = b.activation(h, "relu6", name="stem_act")
+    h = b.depthwise_conv2d(h, weights((3, 3, 8, 1)), name="dw")
+    h = b.batch_norm(h, rng.normal(0, 0.2, 8).astype(np.float32),
+                     np.abs(rng.normal(1, 0.2, 8)).astype(np.float32) + 0.2,
+                     np.ones(8, np.float32), np.zeros(8, np.float32),
+                     name="dw_bn")
+    h = b.activation(h, "relu6", name="dw_act")
+    skip = h
+    h = b.conv2d(h, weights((1, 1, 8, 8)), np.zeros(8, np.float32),
+                 name="pw", activation="linear")
+    h = b.add_tensors(h, skip, name="res_add")
+    h = b.activation(h, "relu", name="res_act")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.dense(h, weights((8, num_classes)), np.zeros(num_classes, np.float32),
+                name="logits")
+    h = b.softmax(h, name="probs")
+    b.mark_output(h)
+    return b.finish()
+
+
+@pytest.fixture
+def small_cnn(rng):
+    return build_small_cnn(rng)
+
+
+@pytest.fixture
+def small_cnn_mobile(small_cnn):
+    return convert_to_mobile(small_cnn)
+
+
+@pytest.fixture
+def calib_batch(rng):
+    return rng.uniform(-1, 1, (16, 8, 8, 3)).astype(np.float32)
+
+
+@pytest.fixture
+def small_cnn_quantized(small_cnn_mobile, calib_batch):
+    return quantize_graph(small_cnn_mobile, [calib_batch])

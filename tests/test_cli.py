@@ -1,0 +1,89 @@
+"""CLI tests: every subcommand end to end through ``repro.cli.main``."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListModels:
+    def test_lists_all_models(self):
+        code, text = run_cli("list-models")
+        assert code == 0
+        assert "micro_mobilenet_v2" in text and "nnlm_lite" in text
+        assert "Mobilenet v2" in text  # paper family column
+
+
+class TestExport:
+    def test_exports_loadable_model(self, tmp_path):
+        path = tmp_path / "v1.rpm"
+        code, text = run_cli("export", "micro_mobilenet_v1",
+                             "--stage", "quantized", "-o", str(path))
+        assert code == 0 and path.exists()
+        from repro.graph import load_model
+        graph = load_model(path)
+        assert graph.is_quantized
+
+
+class TestTrain:
+    def test_reports_cached_accuracy(self):
+        code, text = run_cli("train", "micro_mobilenet_v1")
+        assert code == 0 and "val_accuracy=" in text
+
+
+class TestValidate:
+    def test_clean_pipeline_exits_zero(self):
+        code, text = run_cli("validate", "micro_mobilenet_v1", "--frames", "12")
+        assert code == 0
+        assert "verdict: HEALTHY" in text
+
+    def test_injected_channel_bug_diagnosed_nonzero_exit(self):
+        code, text = run_cli("validate", "micro_mobilenet_v1",
+                             "--frames", "16", "--bug", "channel_order=bgr")
+        assert code == 1
+        assert "BGR->RGB" in text
+
+    def test_rotation_bug_integer_value_parsed(self):
+        code, text = run_cli("validate", "micro_mobilenet_v1",
+                             "--frames", "16", "--bug", "rotation_k=1")
+        assert code == 1
+        assert "rotated" in text
+
+    def test_kernel_bug_preset(self):
+        code, text = run_cli("validate", "micro_mobilenet_v2",
+                             "--stage", "quantized", "--frames", "16",
+                             "--kernel-bugs", "paper-optimized")
+        assert code == 1
+        assert "depthwise_conv2d" in text
+
+    def test_bad_bug_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("validate", "micro_mobilenet_v1", "--bug", "nonsense")
+
+
+class TestProfile:
+    def test_prints_profile_and_total(self):
+        code, text = run_cli("profile", "micro_mobilenet_v2",
+                             "--frames", "2", "--device", "pixel4_cpu")
+        assert code == 0
+        assert "end-to-end:" in text and "ms/frame" in text
+
+    def test_reference_resolver_slower(self):
+        _, fast = run_cli("profile", "micro_mobilenet_v2", "--stage",
+                          "quantized", "--frames", "1")
+        _, slow = run_cli("profile", "micro_mobilenet_v2", "--stage",
+                          "quantized", "--frames", "1",
+                          "--resolver", "reference")
+
+        def total(text):
+            line = next(l for l in text.splitlines() if "end-to-end" in l)
+            return float(line.split()[1])
+
+        assert total(slow) > 20 * total(fast)

@@ -1,0 +1,173 @@
+"""Conversion pass tests: BN folding, fusion, DCE, quantization pass."""
+
+import numpy as np
+import pytest
+
+from repro.convert import (
+    QuantizationConfig,
+    convert_to_mobile,
+    eliminate_dead_nodes,
+    fold_batch_norm,
+    fuse_activations,
+    quantize_graph,
+)
+from repro.runtime import Interpreter
+from repro.util.errors import QuantizationError
+
+
+class TestFoldBatchNorm:
+    def test_bn_nodes_removed(self, small_cnn):
+        folded = fold_batch_norm(small_cnn)
+        assert not any(n.op == "batch_norm" for n in folded.nodes)
+
+    def test_numerically_exact(self, small_cnn, rng):
+        x = rng.normal(size=(4, 8, 8, 3)).astype(np.float32)
+        a = Interpreter(small_cnn).invoke_single(x)
+        b = Interpreter(fold_batch_norm(small_cnn)).invoke_single(x)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+    def test_folded_node_takes_bn_name(self, small_cnn):
+        folded = fold_batch_norm(small_cnn)
+        names = [n.name for n in folded.nodes]
+        # Conv 'stem' folds into BN's slot: post-BN tensor name survives so
+        # per-layer logs stay semantically aligned across stages.
+        assert "stem_bn" in names and "stem" not in names
+
+    def test_folded_weights_scaled(self, small_cnn):
+        folded = fold_batch_norm(small_cnn)
+        original = small_cnn.node("stem").weights["weights"]
+        new = folded.node("stem_bn").weights["weights"]
+        assert new.shape == original.shape
+        assert not np.allclose(new, original)
+
+    def test_bias_created(self, small_cnn):
+        folded = fold_batch_norm(small_cnn)
+        assert "bias" in folded.node("stem_bn").weights
+
+
+class TestFuseActivations:
+    def test_relu_nodes_fused(self, small_cnn):
+        fused = fuse_activations(fold_batch_norm(small_cnn))
+        acts = [n for n in fused.nodes if n.op == "activation"]
+        assert not acts  # all relu/relu6 fused in this model
+
+    def test_numerically_exact(self, small_cnn, rng):
+        x = rng.normal(size=(4, 8, 8, 3)).astype(np.float32)
+        a = Interpreter(small_cnn).invoke_single(x)
+        b = Interpreter(fuse_activations(fold_batch_norm(small_cnn))).invoke_single(x)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+    def test_fused_attr_set(self, small_cnn):
+        fused = fuse_activations(fold_batch_norm(small_cnn))
+        assert fused.node("stem_act").attrs["activation"] == "relu6"
+        assert fused.node("stem_act").op == "conv2d"
+
+    def test_hard_swish_not_fused(self, rng):
+        from repro.graph import GraphBuilder
+        b = GraphBuilder("g")
+        x = b.input("input", (None, 4, 4, 3))
+        h = b.conv2d(x, rng.normal(size=(3, 3, 3, 4)).astype(np.float32), name="c")
+        h = b.activation(h, "hard_swish", name="hs")
+        b.mark_output(h)
+        fused = fuse_activations(b.finish())
+        assert any(n.op == "activation" for n in fused.nodes)
+
+
+class TestDeadNodeElimination:
+    def test_removes_unused(self, small_cnn, rng):
+        from repro.graph import GraphBuilder
+        b = GraphBuilder("g")
+        x = b.input("input", (None, 4, 4, 3))
+        h = b.conv2d(x, rng.normal(size=(1, 1, 3, 2)).astype(np.float32), name="used")
+        b.conv2d(x, rng.normal(size=(1, 1, 3, 2)).astype(np.float32), name="dead")
+        b.mark_output(h)
+        pruned = eliminate_dead_nodes(b.finish())
+        assert [n.name for n in pruned.nodes] == ["used"]
+
+    def test_noop_when_all_live(self, small_cnn):
+        assert len(eliminate_dead_nodes(small_cnn).nodes) == len(small_cnn.nodes)
+
+
+class TestConvertToMobile:
+    def test_node_count_shrinks(self, small_cnn):
+        mobile = convert_to_mobile(small_cnn)
+        assert len(mobile.nodes) < len(small_cnn.nodes)
+        assert mobile.metadata["stage"] == "mobile"
+
+    def test_equivalence(self, small_cnn, rng):
+        x = rng.normal(size=(4, 8, 8, 3)).astype(np.float32)
+        a = Interpreter(small_cnn).invoke_single(x)
+        b = Interpreter(convert_to_mobile(small_cnn)).invoke_single(x)
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+
+class TestQuantizeGraph:
+    def test_structure(self, small_cnn_quantized):
+        ops = [n.op for n in small_cnn_quantized.nodes]
+        assert ops[0] == "quantize" and ops[-1] == "dequantize"
+        assert small_cnn_quantized.is_quantized
+        assert small_cnn_quantized.metadata["stage"] == "quantized"
+
+    def test_internal_tensor_names_preserved(self, small_cnn_mobile,
+                                             small_cnn_quantized):
+        mobile_names = {n.name for n in small_cnn_mobile.nodes}
+        quant_names = {n.name for n in small_cnn_quantized.nodes}
+        assert mobile_names <= quant_names  # plus quantize/dequantize bridges
+
+    def test_weights_are_int8(self, small_cnn_quantized):
+        for node in small_cnn_quantized.nodes:
+            if node.op in ("conv2d", "depthwise_conv2d", "dense"):
+                assert node.weights["weights"].dtype == np.int8
+                assert "weights" in node.weight_quant
+
+    def test_bias_is_int32_with_product_scale(self, small_cnn_quantized):
+        node = small_cnn_quantized.node("logits")
+        assert node.weights["bias"].dtype == np.int32
+        in_scale = small_cnn_quantized.spec(node.inputs[0]).quant.scale
+        w_scale = node.weight_quant["weights"].scale
+        np.testing.assert_allclose(node.weight_quant["bias"].scale,
+                                   in_scale * w_scale)
+
+    def test_per_channel_weight_scales(self, small_cnn_quantized):
+        node = small_cnn_quantized.node("stem_act")
+        assert node.weight_quant["weights"].per_channel
+        assert node.weight_quant["weights"].scale.shape == (8,)
+
+    def test_per_tensor_option(self, small_cnn_mobile, calib_batch):
+        q = quantize_graph(small_cnn_mobile, [calib_batch],
+                           QuantizationConfig(per_channel_weights=False))
+        node = q.node("stem_act")
+        assert not node.weight_quant["weights"].per_channel
+
+    def test_softmax_fixed_scale(self, small_cnn_quantized):
+        spec = small_cnn_quantized.spec("probs")
+        np.testing.assert_allclose(spec.quant.scale, 1 / 256)
+
+    def test_accuracy_preserving(self, small_cnn_mobile, small_cnn_quantized,
+                                 calib_batch):
+        a = Interpreter(small_cnn_mobile).invoke_single(calib_batch)
+        b = Interpreter(small_cnn_quantized).invoke_single(calib_batch)
+        # Probabilities should agree to a few quantization steps.
+        assert np.abs(a - b).max() < 0.1
+        assert (a.argmax(1) == b.argmax(1)).mean() >= 0.9
+
+    def test_needs_representative_data(self, small_cnn_mobile):
+        with pytest.raises(QuantizationError):
+            quantize_graph(small_cnn_mobile, [])
+
+    def test_unquantizable_op_rejected(self, rng):
+        from repro.graph import GraphBuilder
+        b = GraphBuilder("g")
+        x = b.input("input", (None, 4), "int64")
+        h = b.add("embedding", x, name="emb",
+                  weights={"table": rng.normal(size=(10, 4)).astype(np.float32)})
+        b.mark_output(h)
+        with pytest.raises(QuantizationError):
+            quantize_graph(b.finish(), [np.zeros((1, 4), np.int64)])
+
+    def test_uint8_activations_option(self, small_cnn_mobile, calib_batch):
+        q = quantize_graph(small_cnn_mobile, [calib_batch],
+                           QuantizationConfig(activation_dtype="uint8"))
+        assert q.spec("stem_act").dtype == "uint8"
+        out = Interpreter(q).invoke_single(calib_batch)
+        assert np.isfinite(out).all()

@@ -1,0 +1,214 @@
+"""Graph IR tests: builder, shape inference, validation, stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, Node, TensorSpec
+from repro.graph.shapes import infer_output_spec
+from repro.util.errors import GraphError, ShapeError
+
+
+class TestTensorSpec:
+    def test_dynamic_batch_check(self):
+        spec = TensorSpec("x", (None, 4, 4, 3))
+        spec.check(np.zeros((7, 4, 4, 3)))  # any batch ok
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (None, 4)).check(np.zeros((2, 4, 4)))
+
+    def test_static_dim_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (None, 4)).check(np.zeros((2, 5)))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (2,), "float16")
+
+    def test_numel_and_nbytes(self):
+        spec = TensorSpec("x", (None, 4, 4, 3), "int8")
+        assert spec.numel(batch=2) == 96
+        assert spec.nbytes(batch=2) == 96
+
+    def test_json_roundtrip(self):
+        spec = TensorSpec("x", (None, 3), "int64")
+        restored = TensorSpec.from_json(spec.to_json())
+        assert restored.shape == spec.shape and restored.dtype == spec.dtype
+
+
+class TestNode:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(GraphError):
+            Node("n", "warp_drive", ["x"], ["y"])
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(GraphError):
+            Node("n", "add", ["x"], [])
+
+    def test_weight_quant_for_missing_weight_rejected(self):
+        from repro.quantize import choose_qparams
+        with pytest.raises(GraphError):
+            Node("n", "conv2d", ["x"], ["y"],
+                 weight_quant={"weights": choose_qparams(-1, 1)})
+
+    def test_param_counting(self):
+        node = Node("n", "conv2d", ["x"], ["y"],
+                     weights={"weights": np.zeros((3, 3, 2, 4), np.float32)})
+        assert node.num_params() == 72
+        assert node.param_bytes() == 288
+
+
+class TestBuilder:
+    def test_duplicate_names_rejected(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("input", (None, 4, 4, 3))
+        b.conv2d(x, rng.normal(size=(3, 3, 3, 2)), name="c")
+        with pytest.raises(GraphError):
+            b.conv2d(x, rng.normal(size=(3, 3, 3, 2)), name="c")
+
+    def test_unknown_input_rejected(self, rng):
+        b = GraphBuilder("g")
+        b.input("input", (None, 4, 4, 3))
+        with pytest.raises(GraphError):
+            b.conv2d("ghost", rng.normal(size=(3, 3, 3, 2)))
+
+    def test_no_outputs_rejected(self, rng):
+        b = GraphBuilder("g")
+        b.input("input", (None, 4))
+        with pytest.raises(GraphError):
+            b.finish()
+
+    def test_auto_names_unique(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("input", (None, 4, 4, 3))
+        y1 = b.conv2d(x, rng.normal(size=(1, 1, 3, 3)))
+        y2 = b.conv2d(y1, rng.normal(size=(1, 1, 3, 3)))
+        assert y1 != y2
+
+    def test_graph_stats(self, small_cnn):
+        assert small_cnn.num_layers() == len(small_cnn.nodes)
+        assert small_cnn.num_params() > 0
+        assert small_cnn.param_bytes() == sum(
+            n.param_bytes() for n in small_cnn.nodes)
+        assert not small_cnn.is_quantized
+
+    def test_producers_consumers(self, small_cnn):
+        producers = small_cnn.producers()
+        consumers = small_cnn.consumers()
+        assert producers["stem"].name == "stem"
+        assert any(c.name == "stem_bn" for c in consumers["stem"])
+
+    def test_node_lookup_error(self, small_cnn):
+        with pytest.raises(GraphError):
+            small_cnn.node("nope")
+        with pytest.raises(GraphError):
+            small_cnn.spec("nope")
+
+
+class TestShapeInference:
+    def x(self, shape, dtype="float32"):
+        return TensorSpec("x", shape, dtype)
+
+    def test_conv2d_same_stride2(self):
+        spec = infer_output_spec(
+            "conv2d", "y", [self.x((None, 9, 9, 3))],
+            {"stride": 2, "padding": "same"},
+            {"weights": np.zeros((3, 3, 3, 8))})
+        assert spec.shape == (None, 5, 5, 8)
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            infer_output_spec("conv2d", "y", [self.x((None, 9, 9, 4))],
+                              {}, {"weights": np.zeros((3, 3, 3, 8))})
+
+    def test_depthwise_multiplier(self):
+        spec = infer_output_spec(
+            "depthwise_conv2d", "y", [self.x((None, 8, 8, 4))],
+            {"stride": 1, "padding": "same"},
+            {"weights": np.zeros((3, 3, 4, 2))})
+        assert spec.shape == (None, 8, 8, 8)
+
+    def test_dense(self):
+        spec = infer_output_spec("dense", "y", [self.x((None, 6, 10))], {},
+                                 {"weights": np.zeros((10, 3))})
+        assert spec.shape == (None, 6, 3)
+
+    def test_global_avg_pool_keepdims(self):
+        spec = infer_output_spec("global_avg_pool", "y",
+                                 [self.x((None, 4, 4, 7))],
+                                 {"keepdims": True}, {})
+        assert spec.shape == (None, 1, 1, 7)
+
+    def test_pad2d(self):
+        spec = infer_output_spec("pad2d", "y", [self.x((None, 4, 5, 2))],
+                                 {"paddings": ((1, 2), (0, 1))}, {})
+        assert spec.shape == (None, 7, 6, 2)
+
+    def test_add_broadcast(self):
+        spec = infer_output_spec(
+            "add", "y",
+            [self.x((None, 4, 4, 8)), TensorSpec("b", (None, 1, 1, 8))], {}, {})
+        assert spec.shape == (None, 4, 4, 8)
+
+    def test_add_incompatible(self):
+        with pytest.raises(ShapeError):
+            infer_output_spec(
+                "add", "y",
+                [self.x((None, 4, 4, 8)), TensorSpec("b", (None, 4, 4, 7))],
+                {}, {})
+
+    def test_concat(self):
+        spec = infer_output_spec(
+            "concat", "y",
+            [self.x((None, 4, 4, 3)), TensorSpec("b", (None, 4, 4, 5))],
+            {"axis": -1}, {})
+        assert spec.shape == (None, 4, 4, 8)
+
+    def test_flatten(self):
+        spec = infer_output_spec("flatten", "y", [self.x((None, 4, 4, 3))], {}, {})
+        assert spec.shape == (None, 48)
+
+    def test_embedding(self):
+        spec = infer_output_spec("embedding", "y",
+                                 [self.x((None, 16), "int64")], {},
+                                 {"table": np.zeros((100, 8))})
+        assert spec.shape == (None, 16, 8)
+
+    def test_reduce_mean_seq(self):
+        spec = infer_output_spec("reduce_mean_seq", "y",
+                                 [self.x((None, 16, 8))], {}, {})
+        assert spec.shape == (None, 8)
+
+    def test_resize_nearest(self):
+        spec = infer_output_spec("resize_nearest", "y",
+                                 [self.x((None, 6, 6, 4))],
+                                 {"out_h": 12, "out_w": 12}, {})
+        assert spec.shape == (None, 12, 12, 4)
+
+    def test_avg_pool_same(self):
+        spec = infer_output_spec("avg_pool2d", "y", [self.x((None, 5, 5, 2))],
+                                 {"pool_size": 3, "stride": 1,
+                                  "padding": "same"}, {})
+        assert spec.shape == (None, 5, 5, 2)
+
+    def test_quantize_dtype(self):
+        spec = infer_output_spec("quantize", "y", [self.x((None, 4))],
+                                 {"dtype": "int8"}, {})
+        assert spec.dtype == "int8"
+
+    def test_unknown_op(self):
+        with pytest.raises(ShapeError):
+            infer_output_spec("mystery", "y", [self.x((1,))], {}, {})
+
+
+class TestGraphValidation:
+    def test_topological_order_enforced(self, small_cnn):
+        graph = small_cnn
+        graph.nodes = list(reversed(graph.nodes))
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_missing_output_rejected(self, small_cnn):
+        small_cnn.outputs = ["ghost"]
+        with pytest.raises(GraphError):
+            small_cnn.validate()

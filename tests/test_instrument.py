@@ -1,0 +1,199 @@
+"""Instrumentation tests: monitor lifecycle, per-layer capture, log store."""
+
+import numpy as np
+import pytest
+
+from repro.instrument import EXrayLog, EdgeMLMonitor, MLEXray, save_log
+from repro.runtime import Interpreter
+from repro.util.errors import ValidationError
+
+
+def run_frames(graph, monitor, x_frames):
+    interp = Interpreter(graph)
+    monitor.attach(interp)
+    for i in range(len(x_frames)):
+        monitor.on_inf_start()
+        interp.invoke(x_frames[i:i + 1])
+        monitor.on_inf_stop(interp)
+    return interp
+
+
+class TestMonitorLifecycle:
+    def test_paper_api_names(self):
+        assert MLEXray is EdgeMLMonitor  # MLEXray.on_inf_start() reads as in §3.2
+
+    def test_frames_recorded(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(3, 8, 8, 3)).astype(np.float32))
+        assert len(monitor.frames) == 3
+        assert [f.step for f in monitor.frames] == [0, 1, 2]
+
+    def test_double_start_rejected(self):
+        monitor = EdgeMLMonitor()
+        monitor.on_inf_start()
+        with pytest.raises(ValidationError):
+            monitor.on_inf_start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeMLMonitor().on_inf_stop()
+
+    def test_lazy_frame_adopted_by_start(self):
+        monitor = EdgeMLMonitor()
+        monitor.log("early", 1.0)      # opens frame lazily
+        monitor.on_inf_start()          # adopts it
+        monitor.on_inf_stop()
+        assert monitor.frames[0].scalars["early"] == 1.0
+
+    def test_sensor_markers(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        monitor.on_sensor_start()
+        monitor.on_sensor_stop()
+        monitor.on_inf_start()
+        monitor.on_inf_stop()
+        assert "capture_ms" in monitor.frames[0].sensors
+
+    def test_sensor_stop_without_start_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeMLMonitor().on_sensor_stop()
+
+    def test_latency_from_interpreter(self, small_cnn, rng):
+        from repro.perfmodel import PIXEL4_CPU
+        monitor = EdgeMLMonitor()
+        interp = Interpreter(small_cnn, device=PIXEL4_CPU)
+        monitor.attach(interp)
+        monitor.on_inf_start()
+        interp.invoke(rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        frame = monitor.on_inf_stop(interp)
+        assert frame.latency_ms == pytest.approx(interp.last_latency_ms)
+        assert frame.memory_mb > 0
+
+
+class TestCustomLogging:
+    def test_log_tensor_scalar_other(self):
+        monitor = EdgeMLMonitor()
+        monitor.on_inf_start()
+        monitor.log("t", np.ones(3))
+        monitor.log("s", 2.5)
+        monitor.log("o", "landscape")
+        monitor.on_inf_stop()
+        frame = monitor.frames[0]
+        assert "t" in frame.tensors and frame.scalars["s"] == 2.5
+        assert frame.sensors["o"] == "landscape"
+
+    def test_log_copies_tensor(self):
+        monitor = EdgeMLMonitor()
+        monitor.on_inf_start()
+        arr = np.zeros(3)
+        monitor.log("t", arr)
+        arr[:] = 9
+        monitor.on_inf_stop()
+        np.testing.assert_array_equal(monitor.frames[0].tensors["t"], 0)
+
+    def test_wrap_logs_in_and_out(self):
+        monitor = EdgeMLMonitor()
+        fn = monitor.wrap("resize", lambda x: x * 2)
+        monitor.on_inf_start()
+        out = fn(np.ones(2))
+        monitor.on_inf_stop()
+        frame = monitor.frames[0]
+        np.testing.assert_array_equal(frame.tensors["resize/in"], 1)
+        np.testing.assert_array_equal(frame.tensors["resize/out"], 2)
+        np.testing.assert_array_equal(out, 2)
+
+
+class TestPerLayerCapture:
+    def test_default_logs_skip_layer_tensors(self, small_cnn, rng):
+        monitor = EdgeMLMonitor(per_layer=False)
+        run_frames(small_cnn, monitor, rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        frame = monitor.frames[0]
+        assert not any(k.startswith("layer/") for k in frame.tensors)
+        assert len(frame.layer_latency_ms) == len(small_cnn.nodes)
+
+    def test_per_layer_tensors_captured(self, small_cnn, rng):
+        monitor = EdgeMLMonitor(per_layer=True)
+        interp = run_frames(small_cnn, monitor,
+                            rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        frame = monitor.frames[0]
+        for node in small_cnn.nodes:
+            assert f"layer/{node.name}" in frame.tensors
+
+    def test_quantized_layers_dequantized(self, small_cnn_quantized, rng):
+        monitor = EdgeMLMonitor(per_layer=True)
+        run_frames(small_cnn_quantized, monitor,
+                   rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        layer = monitor.frames[0].tensors["layer/stem_act"]
+        assert layer.dtype == np.float32  # comparable against float reference
+
+    def test_raw_quantized_option(self, small_cnn_quantized, rng):
+        monitor = EdgeMLMonitor(per_layer=True, dequantize_layers=False)
+        run_frames(small_cnn_quantized, monitor,
+                   rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        assert monitor.frames[0].tensors["layer/stem_act"].dtype == np.int8
+
+    def test_overhead_tracked(self, small_cnn, rng):
+        monitor = EdgeMLMonitor(per_layer=True)
+        run_frames(small_cnn, monitor, rng.normal(size=(2, 8, 8, 3)).astype(np.float32))
+        assert monitor.monitor_overhead_ms > 0
+
+    def test_summary(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(4, 8, 8, 3)).astype(np.float32))
+        summary = monitor.summary()
+        assert summary["num_frames"] == 4
+        assert summary["mean_latency_ms"] > 0
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeMLMonitor().summary()
+
+
+class TestLogStore:
+    def test_save_load_roundtrip(self, small_cnn, rng, tmp_path):
+        monitor = EdgeMLMonitor(per_layer=True)
+        monitor_dir = tmp_path / "log"
+        run_frames(small_cnn, monitor, rng.normal(size=(2, 8, 8, 3)).astype(np.float32))
+        monitor.frames[0].scalars["label"] = 3.0
+        nbytes = save_log(monitor, monitor_dir)
+        assert nbytes > 0
+        log = EXrayLog.load(monitor_dir)
+        assert len(log) == 2
+        assert log.frames[0].scalars["label"] == 3.0
+        np.testing.assert_array_equal(
+            log.frames[1].tensors["layer/probs"],
+            monitor.frames[1].tensors["layer/probs"])
+        assert log.log_bytes == nbytes
+
+    def test_load_missing_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            EXrayLog.load(tmp_path / "nope")
+
+    def test_from_monitor_view(self, small_cnn, rng):
+        monitor = EdgeMLMonitor(per_layer=True)
+        run_frames(small_cnn, monitor, rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        log = EXrayLog.from_monitor(monitor)
+        assert log.layer_names() == [n.name for n in small_cnn.nodes]
+
+    def test_stacked_series(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        interp = Interpreter(small_cnn)
+        monitor.attach(interp)
+        for i in range(3):
+            monitor.on_inf_start()
+            out = interp.invoke(rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+            monitor.on_inf_stop(interp)
+            monitor.frames[-1].tensors["model_output"] = next(iter(out.values()))[0]
+        log = EXrayLog.from_monitor(monitor)
+        assert log.stacked("model_output").shape == (3, 4)
+
+    def test_layer_latency_by_type(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(2, 8, 8, 3)).astype(np.float32))
+        by_type = EXrayLog.from_monitor(monitor).layer_latency_by_type()
+        assert "conv2d" in by_type and "softmax" in by_type
+
+    def test_missing_tensor_key_error_lists_available(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        with pytest.raises(KeyError, match="available"):
+            monitor.frames[0].tensor("nope")

@@ -1,0 +1,127 @@
+"""Pipeline tests: EdgeApp, preprocess overrides, reference construction."""
+
+import numpy as np
+import pytest
+
+from repro.instrument import EdgeMLMonitor
+from repro.pipelines import (
+    EdgeApp,
+    ImagePreprocessConfig,
+    build_reference_app,
+    make_preprocess,
+)
+from repro.util.errors import ValidationError
+
+
+IMAGE_META = {
+    "task": "classification",
+    "image_preprocess": ImagePreprocessConfig((8, 8)).to_json(),
+}
+SPEECH_META = {
+    "task": "speech",
+    "spectrogram": {"frame_len": 256, "hop": 125, "num_bins": 64},
+    "spectrogram_normalization": "global_db",
+}
+
+
+class TestMakePreprocess:
+    def test_image_default(self, rng):
+        fn = make_preprocess(IMAGE_META)
+        sensor = rng.integers(0, 255, (2, 32, 32, 3)).astype(np.uint8)
+        out = fn(sensor)
+        assert out.shape == (2, 8, 8, 3) and out.dtype == np.float32
+
+    def test_image_override_injects_bug(self, rng):
+        sensor = rng.integers(0, 255, (2, 32, 32, 3)).astype(np.uint8)
+        base = make_preprocess(IMAGE_META)(sensor)
+        bgr = make_preprocess(IMAGE_META, {"channel_order": "bgr"})(sensor)
+        np.testing.assert_allclose(bgr, base[..., ::-1], atol=1e-6)
+
+    def test_speech_pipeline(self, rng):
+        fn = make_preprocess(SPEECH_META)
+        waves = rng.normal(size=(3, 4000)).astype(np.float32)
+        out = fn(waves)
+        assert out.shape == (3, 30, 64, 1)
+
+    def test_speech_normalization_override(self, rng):
+        waves = rng.normal(size=(2, 4000)).astype(np.float32)
+        a = make_preprocess(SPEECH_META)(waves)
+        b = make_preprocess(SPEECH_META,
+                            {"spectrogram_normalization": "per_utterance"})(waves)
+        assert not np.allclose(a, b)
+
+    def test_text_passthrough(self):
+        ids = np.array([[1, 2, 3]])
+        np.testing.assert_array_equal(
+            make_preprocess({"task": "text"})(ids), ids)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValidationError):
+            make_preprocess({"task": "smelling"})
+
+
+class TestEdgeApp:
+    def make_graph_with_meta(self, small_cnn_mobile):
+        small_cnn_mobile.metadata["pipeline"] = IMAGE_META
+        return small_cnn_mobile
+
+    def test_run_logs_default_telemetry(self, small_cnn_mobile, rng):
+        graph = self.make_graph_with_meta(small_cnn_mobile)
+        app = EdgeApp(graph, device=None)
+        sensor = rng.integers(0, 255, (3, 32, 32, 3)).astype(np.uint8)
+        outputs = app.run(sensor, labels=np.array([0, 1, 2]))
+        assert outputs.shape == (3, 4)
+        log = app.log()
+        assert len(log) == 3
+        assert log.frames[0].tensor("model_input").shape == (8, 8, 3)
+        assert log.frames[0].tensor("model_output").shape == (4,)
+        assert log.frames[2].scalars["label"] == 2.0
+        assert "capture_ms" in log.frames[0].sensors
+
+    def test_run_batched_matches_run(self, small_cnn_mobile, rng):
+        graph = self.make_graph_with_meta(small_cnn_mobile)
+        sensor = rng.integers(0, 255, (4, 32, 32, 3)).astype(np.uint8)
+        a = EdgeApp(graph, device=None).run(sensor)
+        b = EdgeApp(graph, device=None).run_batched(sensor)
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    def test_log_raw_keeps_sensor_frame(self, small_cnn_mobile, rng):
+        graph = self.make_graph_with_meta(small_cnn_mobile)
+        app = EdgeApp(graph, device=None)
+        sensor = rng.integers(0, 255, (2, 32, 32, 3)).astype(np.uint8)
+        app.run(sensor, log_raw=True)
+        np.testing.assert_array_equal(
+            app.log().frames[0].tensor("sensor_frame"), sensor[0])
+
+    def test_device_latency_in_log(self, small_cnn_mobile, rng):
+        from repro.perfmodel import PIXEL4_CPU
+        graph = self.make_graph_with_meta(small_cnn_mobile)
+        app = EdgeApp(graph, device=PIXEL4_CPU)
+        sensor = rng.integers(0, 255, (2, 32, 32, 3)).astype(np.uint8)
+        app.run(sensor)
+        lats = [f.latency_ms for f in app.log().frames]
+        assert lats[0] == pytest.approx(lats[1])  # deterministic cost model
+
+
+class TestReferenceApp:
+    def test_built_from_metadata(self, small_cnn_mobile, rng):
+        small_cnn_mobile.metadata["pipeline"] = IMAGE_META
+        ref = build_reference_app(small_cnn_mobile)
+        assert ref.monitor.name == "reference"
+        assert ref.monitor.per_layer
+        sensor = rng.integers(0, 255, (2, 32, 32, 3)).astype(np.uint8)
+        ref.run(sensor)
+        assert ref.log().layer_names()
+
+    def test_requires_metadata_or_custom(self, small_cnn):
+        small_cnn.metadata.pop("pipeline", None)
+        with pytest.raises(ValidationError):
+            build_reference_app(small_cnn)
+
+    def test_custom_preprocess_accepted(self, small_cnn, rng):
+        ref = build_reference_app(
+            small_cnn,
+            preprocess=lambda s: ImagePreprocessConfig((8, 8)).apply(s))
+        sensor = rng.integers(0, 255, (1, 16, 16, 3)).astype(np.uint8)
+        ref.run(sensor)
+        assert len(ref.log()) == 1

@@ -1,0 +1,162 @@
+"""Quantization parameter and calibration tests, incl. hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantize import (
+    QuantParams,
+    RangeObserver,
+    choose_qparams,
+    choose_qparams_per_channel,
+    dtype_range,
+)
+from repro.util.errors import QuantizationError
+
+
+class TestDtypeRange:
+    def test_int8(self):
+        assert dtype_range("int8") == (-128, 127)
+
+    def test_uint8(self):
+        assert dtype_range("uint8") == (0, 255)
+
+    def test_unknown(self):
+        with pytest.raises(QuantizationError):
+            dtype_range("float8")
+
+
+class TestQuantParams:
+    def test_roundtrip_exact_grid(self):
+        params = choose_qparams(-1.0, 1.0, "int8")
+        grid = params.dequantize(np.arange(-128, 128, dtype=np.int8))
+        requant = params.quantize(grid)
+        np.testing.assert_array_equal(requant, np.arange(-128, 128, dtype=np.int8))
+
+    def test_zero_exactly_representable(self):
+        params = choose_qparams(0.3, 2.0, "int8")  # range extended to include 0
+        q = params.quantize(np.array([0.0]))
+        np.testing.assert_allclose(params.dequantize(q), 0.0, atol=1e-12)
+
+    def test_saturates(self):
+        params = choose_qparams(-1.0, 1.0, "int8")
+        q = params.quantize(np.array([100.0, -100.0]))
+        assert q[0] == 127 and q[1] == -128
+
+    def test_symmetric_zero_point_is_zero(self):
+        params = choose_qparams(-3.0, 1.0, "int8", symmetric=True)
+        assert params.zero_point.item() == 0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(np.float64(-1.0), np.int64(0), "int8")
+
+    def test_zero_point_out_of_range_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(np.float64(0.1), np.int64(300), "int8")
+
+    def test_per_tensor_multi_scale_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(np.array([0.1, 0.2]), np.array([0, 0]), "int8", axis=None)
+
+    def test_json_roundtrip(self):
+        params = choose_qparams(-0.7, 1.9, "uint8")
+        restored = QuantParams.from_json(params.to_json())
+        np.testing.assert_array_equal(restored.scale, params.scale)
+        np.testing.assert_array_equal(restored.zero_point, params.zero_point)
+        assert restored.dtype == params.dtype
+
+    def test_degenerate_range(self):
+        params = choose_qparams(0.0, 0.0, "int8")
+        q = params.quantize(np.array([0.0]))
+        np.testing.assert_allclose(params.dequantize(q), 0.0, atol=1e-9)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(QuantizationError):
+            choose_qparams(2.0, 1.0)
+
+
+class TestQuantizationErrorBound:
+    @given(
+        lo=st.floats(-100, 0, allow_nan=False),
+        span=st.floats(0.01, 200, allow_nan=False),
+        values=st.lists(st.floats(0, 1), min_size=1, max_size=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_error_at_most_half_scale(self, lo, span, values):
+        """|x - dequant(quant(x))| <= scale/2 for in-range x (the defining
+        property of round-to-nearest affine quantization)."""
+        hi = lo + span
+        params = choose_qparams(lo, hi, "int8")
+        lo_eff, hi_eff = min(lo, 0.0), max(hi, 0.0)
+        x = np.array(values) * (hi_eff - lo_eff) + lo_eff
+        err = np.abs(params.dequantize(params.quantize(x)).astype(np.float64) - x)
+        # scale/2 from rounding, plus float32 representation error on the
+        # dequantized values.
+        bound = params.scale.item() / 2 + np.abs(x).max() * 1e-6 + 1e-9
+        assert err.max() <= bound
+
+    @given(st.integers(-128, 127))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_is_idempotent_on_grid(self, q):
+        params = choose_qparams(-2.0, 3.0, "int8")
+        x = params.dequantize(np.array([q], dtype=np.int8))
+        assert params.quantize(x)[0] == q
+
+
+class TestPerChannel:
+    def test_scales_match_channel_maxima(self, rng):
+        w = rng.normal(size=(3, 3, 2, 4))
+        w[..., 2] *= 100
+        params = choose_qparams_per_channel(w, axis=3)
+        assert params.per_channel and params.scale.shape == (4,)
+        assert params.scale[2] > 10 * params.scale[0]
+
+    def test_per_channel_roundtrip_beats_per_tensor_on_skew(self, rng):
+        """The §2 motivation: per-tensor squashes small-scale channels."""
+        w = rng.normal(size=(3, 3, 4, 2))
+        w[..., 1] *= 1000
+        pc = choose_qparams_per_channel(w, axis=3)
+        bound = float(np.abs(w).max())
+        pt = choose_qparams(-bound, bound, "int8", symmetric=True)
+        err_pc = np.abs(pc.dequantize(pc.quantize(w)) - w)[..., 0].max()
+        err_pt = np.abs(pt.dequantize(pt.quantize(w)) - w)[..., 0].max()
+        assert err_pc < err_pt / 10
+
+    def test_bad_axis_rejected(self, rng):
+        with pytest.raises(QuantizationError):
+            choose_qparams_per_channel(rng.normal(size=(2, 2)), axis=5)
+
+
+class TestRangeObserver:
+    def test_minmax_tracks_extremes(self):
+        obs = RangeObserver("minmax")
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        assert obs.range() == (-3.0, 2.0)
+
+    def test_empty_observer_rejects(self):
+        with pytest.raises(QuantizationError):
+            RangeObserver().range()
+
+    def test_percentile_clips_outliers(self, rng):
+        obs = RangeObserver("percentile", percentile=99.0)
+        data = rng.normal(size=50_000)
+        data[0] = 1e6  # a single wild outlier
+        obs.observe(data)
+        lo, hi = obs.range()
+        assert hi < 10  # outlier clipped away
+        mm = RangeObserver("minmax")
+        mm.observe(data)
+        assert mm.range()[1] == 1e6  # minmax keeps it (the §2 failure mode)
+
+    def test_qparams_from_observer(self):
+        obs = RangeObserver()
+        obs.observe(np.linspace(-1, 1, 100))
+        params = obs.qparams("int8")
+        assert abs(params.scale.item() - 2 / 255) < 1e-6
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QuantizationError):
+            RangeObserver("fancy")

@@ -1,0 +1,81 @@
+"""Model serialization round-trips and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.graph import graph_from_bytes, graph_to_bytes, load_model, save_model
+from repro.runtime import Interpreter
+from repro.util.errors import GraphError
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, small_cnn):
+        restored = graph_from_bytes(graph_to_bytes(small_cnn))
+        assert [n.name for n in restored.nodes] == [n.name for n in small_cnn.nodes]
+        assert [n.op for n in restored.nodes] == [n.op for n in small_cnn.nodes]
+        assert restored.inputs == small_cnn.inputs
+        assert restored.outputs == small_cnn.outputs
+
+    def test_weights_bitwise_equal(self, small_cnn):
+        restored = graph_from_bytes(graph_to_bytes(small_cnn))
+        for a, b in zip(small_cnn.nodes, restored.nodes):
+            for key in a.weights:
+                np.testing.assert_array_equal(a.weights[key], b.weights[key])
+                assert a.weights[key].dtype == b.weights[key].dtype
+
+    def test_execution_identical(self, small_cnn, rng):
+        restored = graph_from_bytes(graph_to_bytes(small_cnn))
+        x = rng.normal(size=(3, 8, 8, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            Interpreter(small_cnn).invoke_single(x),
+            Interpreter(restored).invoke_single(x))
+
+    def test_quantized_model_roundtrip(self, small_cnn_quantized, calib_batch):
+        restored = graph_from_bytes(graph_to_bytes(small_cnn_quantized))
+        assert restored.is_quantized
+        np.testing.assert_array_equal(
+            Interpreter(small_cnn_quantized).invoke_single(calib_batch),
+            Interpreter(restored).invoke_single(calib_batch))
+
+    def test_metadata_preserved(self, small_cnn):
+        small_cnn.metadata["custom"] = {"a": 1}
+        restored = graph_from_bytes(graph_to_bytes(small_cnn))
+        assert restored.metadata["custom"] == {"a": 1}
+
+    def test_file_io(self, small_cnn, tmp_path):
+        path = tmp_path / "model.rpm"
+        size = save_model(small_cnn, path)
+        assert path.stat().st_size == size
+        restored = load_model(path)
+        assert restored.name == small_cnn.name
+
+    def test_attr_tuples_survive(self, small_cnn_mobile):
+        # pad2d attrs are nested tuples; JSON turns them into lists, the
+        # loader must convert back (resolve_padding requires tuples).
+        payload = graph_to_bytes(small_cnn_mobile)
+        restored = graph_from_bytes(payload)
+        for node in restored.nodes:
+            if node.op == "pad2d":
+                assert isinstance(node.attrs["paddings"], tuple)
+
+
+class TestFailureModes:
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(Exception):
+            graph_from_bytes(b"not a model")
+
+    def test_version_check(self, small_cnn):
+        import io
+        import json
+
+        import numpy as np
+        payload = graph_to_bytes(small_cnn)
+        with np.load(io.BytesIO(payload)) as data:
+            doc = json.loads(bytes(data["__graph__"]).decode())
+            arrays = {k: data[k] for k in data.files if k != "__graph__"}
+        doc["format_version"] = 999
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, __graph__=np.frombuffer(
+            json.dumps(doc).encode(), dtype=np.uint8), **arrays)
+        with pytest.raises(GraphError):
+            graph_from_bytes(buffer.getvalue())

@@ -1,0 +1,171 @@
+"""Model-zoo tests: registry completeness, stage equivalence, trained quality.
+
+These use the on-disk training cache; the first run trains the models it
+touches (deterministic, seeded).
+"""
+
+import numpy as np
+import pytest
+
+from repro.convert import QuantizationConfig
+from repro.metrics import top_1_accuracy
+from repro.runtime import Interpreter, OpResolver, ReferenceOpResolver
+from repro.util.errors import ReproError
+from repro.zoo import (
+    IMAGE_CLASSIFIERS,
+    build_checkpoint,
+    eval_data,
+    get_entry,
+    get_model,
+    get_trained,
+    list_models,
+)
+from repro.zoo.arch import arch_signature
+
+
+EXPECTED_MODELS = {
+    "micro_mobilenet_v1", "micro_mobilenet_v2", "micro_mobilenet_v3",
+    "micro_inception", "micro_resnet", "micro_densenet", "effdet_lite",
+    "ssd_lite", "frcnn_lite", "deeplab_lite", "speech_cnn_a", "speech_cnn_b",
+    "nnlm_lite", "micro_bert",
+}
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        assert set(list_models()) == EXPECTED_MODELS
+
+    def test_unknown_model_helpful_error(self):
+        with pytest.raises(ReproError, match="available"):
+            get_entry("resnet152")
+
+    def test_entries_carry_pipelines(self):
+        for name in list_models():
+            entry = get_entry(name)
+            assert entry.pipeline["task"] == entry.task
+            assert entry.family
+
+    def test_image_lineup_matches_paper_tables(self):
+        assert len(IMAGE_CLASSIFIERS) == 6
+        families = {get_entry(n).family for n in IMAGE_CLASSIFIERS}
+        assert "Mobilenet v2" in families and "Densenet 121" in families
+
+    def test_arch_signature_stable_and_sensitive(self):
+        a = arch_signature(get_entry("micro_mobilenet_v2").arch_fn())
+        b = arch_signature(get_entry("micro_mobilenet_v2").arch_fn())
+        c = arch_signature(get_entry("micro_mobilenet_v1").arch_fn())
+        assert a == b and a != c
+
+
+class TestTrainedQuality:
+    def test_mobilenet_v2_accuracy(self):
+        _, _, meta = get_trained("micro_mobilenet_v2")
+        assert meta["val_accuracy"] > 0.85
+
+    def test_speech_accuracy(self):
+        _, _, meta = get_trained("speech_cnn_a")
+        assert meta["val_accuracy"] > 0.9
+
+    def test_text_accuracy(self):
+        _, _, meta = get_trained("nnlm_lite")
+        assert meta["val_accuracy"] > 0.85
+
+    def test_loss_decreases(self):
+        _, _, meta = get_trained("micro_mobilenet_v2")
+        history = meta["loss_history"]
+        assert history[-1] < history[0] / 2
+
+    def test_training_deterministic_via_cache(self):
+        a = get_trained("micro_mobilenet_v2")
+        b = get_trained("micro_mobilenet_v2")
+        np.testing.assert_array_equal(a[0]["stem.w"], b[0]["stem.w"])
+
+
+class TestStages:
+    def test_checkpoint_has_bn_and_activations(self):
+        graph = build_checkpoint("micro_mobilenet_v2")
+        ops = {n.op for n in graph.nodes}
+        assert "batch_norm" in ops and "activation" in ops
+        assert graph.metadata["stage"] == "checkpoint"
+        assert graph.metadata["pipeline"]["task"] == "classification"
+
+    def test_mobile_folds_everything(self):
+        mobile = get_model("micro_mobilenet_v2", "mobile")
+        ops = {n.op for n in mobile.nodes}
+        assert "batch_norm" not in ops
+        assert mobile.num_layers() < build_checkpoint(
+            "micro_mobilenet_v2").num_layers()
+
+    def test_v2_second_layer_is_depthwise(self):
+        """Figure 6's premise: MobileNet v2's 2nd (mobile) layer is a dwconv."""
+        mobile = get_model("micro_mobilenet_v2", "mobile")
+        assert mobile.nodes[1].op == "depthwise_conv2d"
+
+    def test_v3_has_avgpool_in_every_se_block(self):
+        mobile = get_model("micro_mobilenet_v3", "mobile")
+        squeezes = [n for n in mobile.nodes
+                    if n.op == "avg_pool2d" and "se" in n.name]
+        assert len(squeezes) >= 4  # one full-extent AveragePool per SE block
+
+    def test_mobile_equals_checkpoint(self):
+        x, _ = eval_data("micro_mobilenet_v2", 32)
+        ckpt = Interpreter(build_checkpoint("micro_mobilenet_v2")).invoke_single(x)
+        mobile = Interpreter(get_model("micro_mobilenet_v2", "mobile")).invoke_single(x)
+        np.testing.assert_allclose(ckpt, mobile, atol=1e-4)
+
+    def test_quantized_close_to_float(self):
+        x, labels = eval_data("micro_mobilenet_v2", 128)
+        mobile = get_model("micro_mobilenet_v2", "mobile")
+        quant = get_model("micro_mobilenet_v2", "quantized")
+        acc_f = top_1_accuracy(Interpreter(mobile).invoke_single(x), labels)
+        acc_q = top_1_accuracy(Interpreter(quant).invoke_single(x), labels)
+        assert abs(acc_f - acc_q) < 0.06  # Fig 5: +-3% for correct kernels
+
+    def test_quantized_resolvers_bit_identical(self):
+        x, _ = eval_data("micro_mobilenet_v1", 32)
+        quant = get_model("micro_mobilenet_v1", "quantized")
+        a = Interpreter(quant, OpResolver()).invoke_single(x)
+        b = Interpreter(quant, ReferenceOpResolver()).invoke_single(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_quant_config_respected(self):
+        quant = get_model(
+            "micro_mobilenet_v1", "quantized",
+            QuantizationConfig(per_channel_weights=False))
+        node = next(n for n in quant.nodes if n.op == "conv2d")
+        assert not node.weight_quant["weights"].per_channel
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ReproError):
+            get_model("micro_mobilenet_v1", "tflite")
+
+    def test_effdet_normalization_in_graph(self):
+        mobile = get_model("effdet_lite", "mobile")
+        assert mobile.nodes[0].op == "image_normalize"
+
+    def test_inception_expects_bgr(self):
+        entry = get_entry("micro_inception")
+        assert entry.pipeline["image_preprocess"]["channel_order"] == "bgr"
+
+    def test_text_models_run(self):
+        ids, labels = eval_data("nnlm_lite", 64)
+        graph = get_model("nnlm_lite", "mobile")
+        out = Interpreter(graph).invoke_single(ids)
+        assert top_1_accuracy(out, labels) > 0.8
+
+    def test_detector_runs_and_detects(self):
+        from repro.pipelines.detection import decode_predictions
+        from repro.metrics import mean_average_precision
+        x, anns = eval_data("ssd_lite", 64)
+        graph = get_model("ssd_lite", "mobile")
+        head = Interpreter(graph).invoke_single(x)
+        decoded = decode_predictions(head, 4, 48)
+        gt = [[(a.label, a.box) for a in img] for img in anns]
+        assert mean_average_precision(decoded, gt, 4) > 0.3
+
+    def test_segmenter_runs(self):
+        from repro.metrics import mean_iou
+        x, masks = eval_data("deeplab_lite", 32)
+        graph = get_model("deeplab_lite", "mobile")
+        logits = Interpreter(graph).invoke_single(x)
+        assert mean_iou(logits.argmax(-1), masks, 4) > 0.5
