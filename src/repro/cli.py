@@ -6,13 +6,17 @@ its operational surface::
     python -m repro list-models
     python -m repro export micro_mobilenet_v2 --stage quantized -o v2.rpm
     python -m repro validate micro_mobilenet_v2 --bug channel_order=bgr
+    python -m repro sweep micro_mobilenet_v2 --variant clean \
+        --variant bgr:channel_order=bgr --variant q:stage=quantized
     python -m repro profile micro_mobilenet_v2 --stage quantized \
         --resolver reference --device pixel4_cpu
 
 ``validate`` runs the full Figure-2 flowchart: instrumented edge app (with
 optional injected bugs) vs the model's reference pipeline over played-back
-data, then prints the validation report. ``profile`` prints the per-layer
-latency profile and straggler analysis on a simulated device.
+data, then prints the validation report. ``sweep`` fans many deployment
+variants of one model across a worker pool and aggregates their validation
+reports. ``profile`` prints the per-layer latency profile and straggler
+analysis on a simulated device.
 """
 
 from __future__ import annotations
@@ -22,29 +26,26 @@ import sys
 
 from repro.graph import save_model
 from repro.instrument import MLEXray
-from repro.kernels.quantized import (
-    NO_BUGS,
-    PAPER_OPTIMIZED_BUGS,
-    PAPER_REFERENCE_BUGS,
-)
 from repro.perfmodel import DEVICES
 from repro.pipelines import EdgeApp, build_reference_app, make_preprocess
-from repro.runtime import OpResolver, ReferenceOpResolver
+from repro.runtime.resolver import KERNEL_BUG_PRESETS, make_resolver
+from repro.util.errors import ReproError, ValidationError
 from repro.util.tabulate import format_table
 from repro.validate import DebugSession, find_stragglers, layer_latency_profile
-from repro.zoo import eval_data, get_entry, get_model, get_trained, list_models
-
-BUG_PRESETS = {
-    "none": NO_BUGS,
-    "paper-optimized": PAPER_OPTIMIZED_BUGS,
-    "paper-reference": PAPER_REFERENCE_BUGS,
-}
-
-
-def _resolver(kind: str, kernel_bugs: str):
-    bugs = BUG_PRESETS[kernel_bugs]
-    return (ReferenceOpResolver(bugs=bugs) if kind == "reference"
-            else OpResolver(bugs=bugs))
+from repro.validate.sweep import (
+    DEFAULT_IMAGE_VARIANTS,
+    coerce_override_value,
+    parse_variant_spec,
+    run_sweep,
+)
+from repro.zoo import (
+    eval_data,
+    get_entry,
+    get_model,
+    get_trained,
+    list_models,
+    playback_data,
+)
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -53,7 +54,7 @@ def _parse_overrides(pairs: list[str]) -> dict:
         if "=" not in pair:
             raise SystemExit(f"--bug expects key=value, got {pair!r}")
         key, value = pair.split("=", 1)
-        overrides[key] = int(value) if value.lstrip("-").isdigit() else value
+        overrides[key] = coerce_override_value(key, value)
     return overrides
 
 
@@ -86,30 +87,13 @@ def cmd_train(args, out) -> int:
 def cmd_validate(args, out) -> int:
     graph = get_model(args.model, stage=args.stage)
     entry = get_entry(args.model)
-    if entry.task != "text":
-        from repro.zoo.registry import (
-            detection_dataset,
-            image_dataset,
-            segmentation_dataset,
-            speech_dataset,
-        )
-        raw = {
-            "classification": image_dataset(),
-            "detection": detection_dataset(),
-            "segmentation": segmentation_dataset(),
-            "speech": speech_dataset(),
-        }[entry.task].sample(args.frames, "cli-validate")
-        frames, labels = raw
-    else:
-        frames, labels = eval_data(args.model, args.frames, "cli-validate")
-    if entry.task in ("detection", "segmentation"):
-        labels = None  # scalar labels don't apply; assertions still run
+    frames, labels = playback_data(args.model, args.frames, "cli-validate")
 
     overrides = _parse_overrides(args.bug or [])
     preprocess = make_preprocess(graph.metadata["pipeline"], overrides) \
         if overrides else None
     edge = EdgeApp(graph, preprocess=preprocess,
-                   resolver=_resolver(args.resolver, args.kernel_bugs),
+                   resolver=make_resolver(args.resolver, args.kernel_bugs),
                    monitor=MLEXray("edge", per_layer=True))
     edge.run(frames, labels, log_raw=entry.task == "classification")
     reference = build_reference_app(get_model(args.model, "mobile"))
@@ -121,10 +105,28 @@ def cmd_validate(args, out) -> int:
     return 0 if report.healthy else 1
 
 
+def cmd_sweep(args, out) -> int:
+    if args.variant:
+        variants = [parse_variant_spec(spec) for spec in args.variant]
+    else:
+        entry = get_entry(args.model)
+        if entry.task not in ("classification", "detection", "segmentation"):
+            raise ValidationError(
+                f"no default variants for task {entry.task!r}; pass --variant "
+                "NAME[:key=value,...] explicitly")
+        variants = list(DEFAULT_IMAGE_VARIANTS)
+    report = run_sweep(
+        args.model, variants, frames=args.frames, executor=args.executor,
+        workers=args.workers, always_assert=args.always_assert,
+    )
+    print(report.render(verbose=args.verbose), file=out)
+    return 0 if report.healthy else 1
+
+
 def cmd_profile(args, out) -> int:
     graph = get_model(args.model, stage=args.stage)
     frames, _ = eval_data(args.model, args.frames, "cli-profile")
-    app = EdgeApp(graph, resolver=_resolver(args.resolver, args.kernel_bugs),
+    app = EdgeApp(graph, resolver=make_resolver(args.resolver, args.kernel_bugs),
                   device=DEVICES[args.device], monitor=MLEXray("edge"))
     app.run_batched(frames[:1])  # warm validation
     app.run(frames)
@@ -171,9 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "channel_order=bgr, normalization=[0,1], rotation_k=1")
     p.add_argument("--resolver", default="optimized",
                    choices=("optimized", "reference"))
-    p.add_argument("--kernel-bugs", default="none", choices=sorted(BUG_PRESETS))
+    p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     p.add_argument("--always-assert", action="store_true",
                    help="run assertions even when accuracy looks healthy")
+
+    p = sub.add_parser(
+        "sweep", help="validate many deployment variants in parallel")
+    p.add_argument("model")
+    p.add_argument("--frames", type=int, default=16)
+    p.add_argument("--variant", action="append", metavar="NAME[:k=v,...]",
+                   help="a deployment variant (repeatable): preprocess "
+                        "overrides plus the special keys stage=, resolver=, "
+                        "kernel_bugs=, device= — e.g. "
+                        "bgr:channel_order=bgr,device=pixel3_cpu. Defaults "
+                        "to the Figure-4(a) bug-injection lineup")
+    p.add_argument("--executor", default="process",
+                   choices=("process", "thread", "serial"))
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size (default: one per variant, capped at CPUs)")
+    p.add_argument("--always-assert", action="store_true",
+                   help="run assertions even when accuracy looks healthy")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every variant's full validation report")
 
     p = sub.add_parser("profile", help="per-layer latency on a simulated device")
     p.add_argument("model")
@@ -183,7 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="pixel4_cpu", choices=sorted(DEVICES))
     p.add_argument("--resolver", default="optimized",
                    choices=("optimized", "reference"))
-    p.add_argument("--kernel-bugs", default="none", choices=sorted(BUG_PRESETS))
+    p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     return parser
 
 
@@ -192,6 +213,7 @@ COMMANDS = {
     "export": cmd_export,
     "train": cmd_train,
     "validate": cmd_validate,
+    "sweep": cmd_sweep,
     "profile": cmd_profile,
 }
 
@@ -199,7 +221,14 @@ COMMANDS = {
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args, out or sys.stdout)
+    try:
+        return COMMANDS[args.command](args, out or sys.stdout)
+    except ReproError as exc:
+        # e.g. an unrecognized preprocess-override key, an unknown model, a
+        # device/dtype mismatch: user input errors, not crashes — report
+        # them without a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

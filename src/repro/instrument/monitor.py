@@ -121,6 +121,36 @@ class EdgeMLMonitor:
         self.monitor_overhead_ms += (time.perf_counter() - t0) * 1e3
         return frame
 
+    def flush(self) -> FrameLog | None:
+        """Close a lazily-opened frame that never saw an inference window.
+
+        Sensor/custom logs open frames lazily (see :meth:`_frame_for_logging`);
+        when no ``on_inf_stop`` follows — trailing sensor-only telemetry, an
+        aborted inference — the frame would otherwise never reach
+        :attr:`frames` and the logs would silently vanish.  Called by
+        :func:`~repro.instrument.store.save_log` and
+        :meth:`~repro.instrument.store.EXrayLog.from_monitor`.  A frame
+        opened by an explicit ``on_inf_start`` is left alone — that is an
+        in-flight inference, not a trailing log.
+
+        Two caveats. A lazy frame is indistinguishable from the *leading*
+        sensor logs of an inference that has not started yet, so flush at
+        end of stream (as save_log does), not between a sensor read and its
+        ``on_inf_start`` — a mid-pipeline flush would split the sensor
+        context into its own frame.  And a flushed frame never saw an
+        inference, so it carries zero latency/memory; aggregate statistics
+        over mixed streams (``mean_latency_ms`` etc.) include those zeros.
+        """
+        if self._current is None or not self._lazy_frame:
+            return None
+        frame = self._current
+        self.frames.append(frame)
+        self._current = None
+        self._lazy_frame = False
+        self._inf_started_at = None
+        self._step += 1
+        return frame
+
     # ------------------------------------------------------------ sensor API
     def on_sensor_start(self) -> None:
         """Mark sensor capture start (camera shutter open)."""

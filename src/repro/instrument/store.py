@@ -19,7 +19,12 @@ from repro.util.errors import ValidationError
 
 
 def save_log(monitor: EdgeMLMonitor, root: str | Path) -> int:
-    """Persist a monitor's frames; returns total bytes written."""
+    """Persist a monitor's frames; returns total bytes written.
+
+    Flushes any pending lazily-opened frame first so trailing sensor-only
+    logs are not dropped.
+    """
+    monitor.flush()
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     meta = {
@@ -104,7 +109,12 @@ class EXrayLog:
 
     @classmethod
     def from_monitor(cls, monitor: EdgeMLMonitor) -> "EXrayLog":
-        """Zero-copy view over an in-memory monitor (no disk round-trip)."""
+        """Zero-copy view over an in-memory monitor (no disk round-trip).
+
+        Flushes any pending lazily-opened frame so trailing sensor-only
+        logs appear in the view.
+        """
+        monitor.flush()
         return cls(monitor.name, monitor.per_layer, monitor.frames,
                    monitor_overhead_ms=monitor.monitor_overhead_ms)
 

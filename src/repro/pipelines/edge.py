@@ -28,6 +28,24 @@ from repro.util.errors import ValidationError
 
 Preprocess = Callable[[np.ndarray], np.ndarray]
 
+IMAGE_OVERRIDE_KEYS = frozenset(
+    ("target_size", "resize_method", "channel_order", "normalization",
+     "rotation_k"))
+"""Recognized override keys for image tasks (the ImagePreprocessConfig fields)."""
+
+SPEECH_OVERRIDE_KEYS = frozenset(
+    ("spectrogram_normalization", "frame_len", "hop", "num_bins"))
+"""Recognized override keys for the speech pipeline."""
+
+
+def _check_override_keys(overrides: dict, known: frozenset, task: str) -> None:
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValidationError(
+            f"unrecognized preprocess override(s) {unknown} for task "
+            f"{task!r}; recognized keys: {sorted(known)}"
+        )
+
 
 def make_preprocess(pipeline_meta: dict, overrides: dict | None = None) -> Preprocess:
     """Build the preprocessing function for a model's pipeline metadata.
@@ -37,16 +55,26 @@ def make_preprocess(pipeline_meta: dict, overrides: dict | None = None) -> Prepr
     ``{"normalization": "[0,1]"}``, ``{"rotation_k": 1}``,
     ``{"resize_method": "bilinear"}``,
     ``{"spectrogram_normalization": "per_utterance"}``).
+
+    Every recognized override is applied even when the recorded recipe omits
+    that field, and unrecognized keys raise :class:`ValidationError` — a
+    silently dropped override would make a bug-injection experiment run the
+    *correct* pipeline while claiming to be buggy.
     """
     overrides = dict(overrides or {})
     task = pipeline_meta["task"]
     if task in ("classification", "detection", "segmentation"):
+        _check_override_keys(overrides, IMAGE_OVERRIDE_KEYS, task)
         cfg_json = dict(pipeline_meta["image_preprocess"])
-        cfg_json.update({k: v for k, v in overrides.items() if k in cfg_json})
+        cfg_json.update(overrides)
         cfg = ImagePreprocessConfig.from_json(cfg_json)
         return cfg.apply
     if task == "speech":
+        _check_override_keys(overrides, SPEECH_OVERRIDE_KEYS, task)
         spec_cfg = dict(pipeline_meta["spectrogram"])
+        spec_cfg.update(
+            {k: v for k, v in overrides.items()
+             if k != "spectrogram_normalization"})
         norm_name = overrides.get(
             "spectrogram_normalization",
             pipeline_meta["spectrogram_normalization"],
@@ -61,6 +89,7 @@ def make_preprocess(pipeline_meta: dict, overrides: dict | None = None) -> Prepr
     if task == "text":
         # Token ids arrive pre-encoded; the lowercase bug is injected at
         # encode time (see SyntheticSentiment.encode) — pass through here.
+        _check_override_keys(overrides, frozenset(), task)
         return lambda ids: np.asarray(ids)
     raise ValidationError(f"unknown task {task!r}")
 

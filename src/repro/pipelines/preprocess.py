@@ -237,6 +237,12 @@ def spectrogram(waves: np.ndarray, frame_len: int = 256, hop: int = 125,
     if waves.ndim == 1:
         waves = waves[None]
     n, t = waves.shape
+    if t < frame_len:
+        raise KernelError(
+            f"waveform length {t} is shorter than frame_len {frame_len}; "
+            "no spectrogram frame can be formed (pad the waveform or "
+            "shorten the frame)"
+        )
     frames = 1 + (t - frame_len) // hop
     idx = (np.arange(frames)[:, None] * hop + np.arange(frame_len)[None, :])
     segments = waves[:, idx] * np.hanning(frame_len)[None, None, :]

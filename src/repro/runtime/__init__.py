@@ -1,4 +1,4 @@
-"""The edge inference runtime: interpreter and op resolvers."""
+"""The edge inference runtime: interpreter, compiled plans, op resolvers."""
 
 from repro.runtime.interpreter import (
     ExecContext,
@@ -6,14 +6,32 @@ from repro.runtime.interpreter import (
     LayerRecord,
     node_is_quantized,
 )
-from repro.runtime.resolver import BaseOpResolver, OpResolver, ReferenceOpResolver
+from repro.runtime.plan import (
+    ExecutionPlan,
+    NodeBinding,
+    compile_plan,
+    derive_bindings,
+)
+from repro.runtime.resolver import (
+    KERNEL_BUG_PRESETS,
+    BaseOpResolver,
+    OpResolver,
+    ReferenceOpResolver,
+    make_resolver,
+)
 
 __all__ = [
     "BaseOpResolver",
     "ExecContext",
+    "ExecutionPlan",
     "Interpreter",
+    "KERNEL_BUG_PRESETS",
     "LayerRecord",
+    "NodeBinding",
     "OpResolver",
     "ReferenceOpResolver",
+    "compile_plan",
+    "derive_bindings",
+    "make_resolver",
     "node_is_quantized",
 ]

@@ -11,12 +11,19 @@ exposes exactly the observation surface ML-EXray needs:
 * **memory accounting**: attached-weight bytes plus peak live activation
   bytes under a reference-counted arena, the "memory footprint" metric of
   Tables 2/3/5.
+
+Execution runs off a compiled :class:`~repro.runtime.plan.ExecutionPlan`:
+executor bindings, quantized flags, output specs, op-class labels, and
+initial refcounts are resolved once per (graph, resolver) rather than per
+call, and the latency model's MAC/element counts are memoized per batch
+size. ``Interpreter(..., use_plan=False)`` keeps the original re-derive-
+per-call path for parity testing and overhead measurement.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,18 +31,23 @@ from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.graph.spec import TensorSpec
 from repro.perfmodel.device import Device
-from repro.perfmodel.work import OP_CLASS, node_work
+from repro.perfmodel.work import node_work
+from repro.runtime.plan import (
+    ExecutionPlan,
+    NodeBinding,
+    compile_plan,
+    derive_bindings,
+    node_is_quantized,
+)
 from repro.runtime.resolver import BaseOpResolver, OpResolver
 from repro.util.errors import GraphError, ShapeError
 
-
-def node_is_quantized(graph: Graph, node: Node) -> bool:
-    """Whether a node executes in the quantized domain."""
-    if node.op == "quantize":
-        return False  # consumes float input; handled by the bridge executor
-    if node.op == "dequantize":
-        return True
-    return graph.spec(node.output).quant is not None
+__all__ = [
+    "ExecContext",
+    "Interpreter",
+    "LayerRecord",
+    "node_is_quantized",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +91,10 @@ class Interpreter:
     device:
         Optional simulated device. When given, per-layer latency comes from
         the device cost model; otherwise real wall-clock time is reported.
+    use_plan:
+        Execute through a compiled :class:`ExecutionPlan` (the default).
+        ``False`` re-derives all per-node state on every call — the
+        original, slower behaviour, kept for parity tests and benchmarks.
     """
 
     def __init__(
@@ -86,18 +102,33 @@ class Interpreter:
         graph: Graph,
         resolver: BaseOpResolver | None = None,
         device: Device | None = None,
+        use_plan: bool = True,
     ):
         graph.validate()
         self.graph = graph
         self.resolver = resolver or OpResolver()
         self.device = device
+        self.use_plan = use_plan
         self._observers: list = []
         self._ctx = ExecContext(graph=graph, resolver=self.resolver)
+        self._plan: ExecutionPlan | None = None
         # Results of the most recent invoke().
         self.last_latency_ms: float = 0.0
         self.last_wall_ms: float = 0.0
         self.last_peak_activation_bytes: int = 0
         self.last_profile: list[dict] = []
+
+    # ------------------------------------------------------------------- plan
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The compiled plan, (re)compiled on demand when stale."""
+        if self._plan is None or self._plan.stale():
+            self._plan = compile_plan(self.graph, self.resolver)
+        return self._plan
+
+    def _derived_bindings(self) -> list[NodeBinding]:
+        """Per-call binding derivation: the uncompiled (seed) path."""
+        return derive_bindings(self.graph, self.resolver)
 
     # ------------------------------------------------------------- observers
     def add_observer(self, fn) -> None:
@@ -122,45 +153,54 @@ class Interpreter:
     ) -> dict[str, np.ndarray]:
         """Run the graph; returns a dict of output tensors by name."""
         values = self._prepare_feeds(feeds)
-        refcounts = self._initial_refcounts()
-        keep = set(self.graph.outputs)
+        if self.use_plan:
+            plan = self.plan
+            bindings: tuple[NodeBinding, ...] | list[NodeBinding] = plan.bindings
+            refcounts = dict(plan.initial_refcounts)
+            keep = plan.keep
+        else:
+            plan = None
+            bindings = self._derived_bindings()
+            refcounts = self._initial_refcounts()
+            keep = set(self.graph.outputs)
 
         live_bytes = sum(int(v.nbytes) for v in values.values())
         peak = live_bytes
         profile: list[dict] = []
         total_latency = 0.0
+        observers = self._observers
+        simulate = self.device is not None
         t_start = time.perf_counter()
 
-        for index, node in enumerate(self.graph.nodes):
+        for binding in bindings:
+            node = binding.node
             inputs = [values[t] for t in node.inputs]
-            quantized = node_is_quantized(self.graph, node)
-            executor = self.resolver.lookup(node.op, quantized)
             t0 = time.perf_counter()
-            out = executor(node, inputs, self._ctx)
+            out = binding.executor(node, inputs, self._ctx)
             wall_ms = (time.perf_counter() - t0) * 1e3
             out = np.asarray(out)
 
-            latency_ms = self._simulated_latency(node, quantized, out) \
-                if self.device is not None else wall_ms
+            latency_ms = self._simulated_latency(binding, out, plan) \
+                if simulate else wall_ms
             total_latency += latency_ms
 
             values[node.output] = out
             live_bytes += int(out.nbytes)
             peak = max(peak, live_bytes)
 
-            spec = self.graph.spec(node.output)
             record = LayerRecord(
-                index=index, node=node, spec=spec, output=out,
-                latency_ms=latency_ms, wall_ms=wall_ms, quantized=quantized,
+                index=binding.index, node=node, spec=binding.spec, output=out,
+                latency_ms=latency_ms, wall_ms=wall_ms,
+                quantized=binding.quantized,
             )
-            for observer in self._observers:
+            for observer in observers:
                 observer(record)
             profile.append({
-                "index": index,
+                "index": binding.index,
                 "name": node.name,
                 "op": node.op,
-                "op_class": OP_CLASS.get(node.op, "other"),
-                "quantized": quantized,
+                "op_class": binding.op_class,
+                "quantized": binding.quantized,
                 "latency_ms": latency_ms,
                 "wall_ms": wall_ms,
                 "output_bytes": int(out.nbytes),
@@ -221,15 +261,22 @@ class Interpreter:
         return counts
 
     def _simulated_latency(
-        self, node: Node, quantized: bool, out: np.ndarray
+        self, binding: NodeBinding, out: np.ndarray,
+        plan: ExecutionPlan | None,
     ) -> float:
         batch = int(out.shape[0]) if out.ndim else 1
-        work = node_work(self.graph, node, batch=batch)
+        if plan is not None:
+            work = plan.work(binding.index, batch)
+            resolver_kind = plan.latency_resolver_kind
+        else:
+            work = node_work(self.graph, binding.node, batch=batch)
+            resolver_kind = self.resolver.kind \
+                if self.resolver.kind in ("optimized", "reference") \
+                else "optimized"
         return self.device.layer_latency_ms(
-            OP_CLASS.get(node.op, "act"),
-            "int8" if quantized else "float",
-            self.resolver.kind if self.resolver.kind in ("optimized", "reference")
-            else "optimized",
+            binding.latency_op_class,
+            "int8" if binding.quantized else "float",
+            resolver_kind,
             work.macs,
             work.elements,
         )

@@ -1,0 +1,136 @@
+"""Compiled execution plans: per-node bindings precomputed once per graph.
+
+``Interpreter.invoke`` used to re-derive, for every node of every call, the
+executor lookup, the quantized-domain flag, the output spec, the op-class
+label, and the activation refcounts — pure Python overhead on a hot path the
+paper sells as "cheap, always-on" (Table 2). An :class:`ExecutionPlan`
+hoists all of that to compile time: it is built once per (graph, resolver)
+pair and replayed on every invoke.
+
+Plans are invalidated automatically when the resolver registers new kernels
+(see :attr:`~repro.runtime.resolver.BaseOpResolver.version`), so the custom
+op workflow — build an interpreter, then ``resolver.register(...)`` — keeps
+working.
+
+Latency-model work estimates (:func:`~repro.perfmodel.work.node_work`) are
+shape-static given a batch size, so the plan memoizes them per
+(node, batch): a deployment loop invoking with a steady batch size computes
+MAC/element counts exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.spec import TensorSpec
+from repro.perfmodel.work import OP_CLASS, NodeWork, node_work
+from repro.runtime.resolver import BaseOpResolver, Executor
+
+
+def node_is_quantized(graph: Graph, node: Node) -> bool:
+    """Whether a node executes in the quantized domain."""
+    if node.op == "quantize":
+        return False  # consumes float input; handled by the bridge executor
+    if node.op == "dequantize":
+        return True
+    return graph.spec(node.output).quant is not None
+
+
+@dataclass(frozen=True)
+class NodeBinding:
+    """Everything invoke needs for one node, resolved at compile time."""
+
+    index: int
+    node: Node
+    executor: Executor
+    quantized: bool
+    spec: TensorSpec                 # output tensor spec
+    op_class: str                    # profile label (OP_CLASS, "other" default)
+    latency_op_class: str            # latency-model class (OP_CLASS, "act" default)
+
+
+def derive_bindings(graph: Graph, resolver: BaseOpResolver) -> list[NodeBinding]:
+    """Derive the per-node bindings for a graph against a resolver.
+
+    The single source of truth for binding semantics: the plan calls this
+    once at compile time; the uncompiled interpreter path calls it on every
+    invoke (the seed behaviour the parity tests compare against).
+    """
+    bindings = []
+    for index, node in enumerate(graph.nodes):
+        quantized = node_is_quantized(graph, node)
+        bindings.append(NodeBinding(
+            index=index,
+            node=node,
+            executor=resolver.lookup(node.op, quantized),
+            quantized=quantized,
+            spec=graph.spec(node.output),
+            op_class=OP_CLASS.get(node.op, "other"),
+            latency_op_class=OP_CLASS.get(node.op, "act"),
+        ))
+    return bindings
+
+
+class ExecutionPlan:
+    """A compiled (graph, resolver) pair, ready for repeated execution.
+
+    Attributes
+    ----------
+    bindings:
+        One :class:`NodeBinding` per graph node, in execution order.
+    initial_refcounts:
+        Consumer counts per tensor; invoke copies this dict and decrements
+        it to drive the reference-counted activation arena.
+    keep:
+        Graph outputs — never freed by the arena.
+    resolver_version:
+        The resolver's :attr:`~repro.runtime.resolver.BaseOpResolver.version`
+        at compile time; a mismatch means kernels were (re)registered and
+        the plan must be recompiled.
+    latency_resolver_kind:
+        The resolver kind charged by the device cost model ("optimized" or
+        "reference"; custom resolvers are charged as optimized).
+    """
+
+    def __init__(self, graph: Graph, resolver: BaseOpResolver):
+        self.graph = graph
+        self.resolver = resolver
+        self.resolver_version = resolver.version
+        self.latency_resolver_kind = (
+            resolver.kind if resolver.kind in ("optimized", "reference")
+            else "optimized"
+        )
+        self.keep = frozenset(graph.outputs)
+
+        counts: dict[str, int] = {t: 0 for t in graph.tensors}
+        for node in graph.nodes:
+            for t in node.inputs:
+                counts[t] += 1
+        self.initial_refcounts = counts
+
+        self.bindings: tuple[NodeBinding, ...] = tuple(
+            derive_bindings(graph, resolver))
+        self._work_cache: dict[tuple[int, int], NodeWork] = {}
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def stale(self) -> bool:
+        """Whether the resolver registered kernels after compilation."""
+        return self.resolver.version != self.resolver_version
+
+    def work(self, index: int, batch: int) -> NodeWork:
+        """Memoized MAC/element counts for one node at a batch size."""
+        key = (index, batch)
+        cached = self._work_cache.get(key)
+        if cached is None:
+            cached = node_work(self.graph, self.bindings[index].node, batch=batch)
+            self._work_cache[key] = cached
+        return cached
+
+
+def compile_plan(graph: Graph, resolver: BaseOpResolver) -> ExecutionPlan:
+    """Compile an execution plan for a validated graph and a resolver."""
+    return ExecutionPlan(graph, resolver)

@@ -26,12 +26,24 @@ import numpy as np
 from repro.graph.node import Node
 from repro.kernels.quantized import optimized as _qopt
 from repro.kernels.quantized import reference as _qref
-from repro.kernels.quantized.bugs import NO_BUGS, KernelBugs
+from repro.kernels.quantized.bugs import (
+    NO_BUGS,
+    PAPER_OPTIMIZED_BUGS,
+    PAPER_REFERENCE_BUGS,
+    KernelBugs,
+)
 from repro.runtime.executors_float import FLOAT_EXECUTORS
 from repro.runtime.executors_quant import QUANT_EXECUTORS
-from repro.util.errors import GraphError
+from repro.util.errors import GraphError, ValidationError
 
 Executor = Callable[[Node, list[np.ndarray], "object"], np.ndarray]
+
+KERNEL_BUG_PRESETS: dict[str, KernelBugs] = {
+    "none": NO_BUGS,
+    "paper-optimized": PAPER_OPTIMIZED_BUGS,
+    "paper-reference": PAPER_REFERENCE_BUGS,
+}
+"""Named kernel-bug configurations selectable from the CLI and sweeps."""
 
 
 class BaseOpResolver:
@@ -44,6 +56,9 @@ class BaseOpResolver:
         charges reference kernels their on-device slowdown (Table 4).
     bugs:
         Kernel-bug injection flags threaded into quantized kernels.
+    version:
+        Bumped on every :meth:`register`; compiled execution plans compare
+        it against the version they were built from to detect staleness.
     """
 
     kind: str = "custom"
@@ -51,6 +66,7 @@ class BaseOpResolver:
     def __init__(self, bugs: KernelBugs = NO_BUGS, qkernels: ModuleType = _qopt):
         self.bugs = bugs
         self.qkernels = qkernels
+        self.version = 0
         self._registry: dict[tuple[str, bool], Executor] = {}
         for op, fn in FLOAT_EXECUTORS.items():
             self._registry[(op, False)] = fn
@@ -63,6 +79,7 @@ class BaseOpResolver:
     def register(self, op: str, quantized: bool, fn: Executor) -> None:
         """Register (or override) the executor for an op — the custom-op hook."""
         self._registry[(op, quantized)] = fn
+        self.version += 1
 
     def lookup(self, op: str, quantized: bool) -> Executor:
         """Find the executor for an op, or raise :class:`GraphError`."""
@@ -91,3 +108,19 @@ class ReferenceOpResolver(BaseOpResolver):
 
     def __init__(self, bugs: KernelBugs = NO_BUGS):
         super().__init__(bugs=bugs, qkernels=_qref)
+
+
+def make_resolver(kind: str, kernel_bugs: str = "none") -> BaseOpResolver:
+    """Build a builtin resolver by name, with a named kernel-bug preset."""
+    try:
+        bugs = KERNEL_BUG_PRESETS[kernel_bugs]
+    except KeyError:
+        raise ValidationError(
+            f"unknown kernel-bug preset {kernel_bugs!r}; "
+            f"available: {sorted(KERNEL_BUG_PRESETS)}"
+        ) from None
+    if kind not in ("optimized", "reference"):
+        raise ValidationError(
+            f"unknown resolver kind {kind!r}; use 'optimized' or 'reference'")
+    return (ReferenceOpResolver(bugs=bugs) if kind == "reference"
+            else OpResolver(bugs=bugs))

@@ -12,6 +12,7 @@ from repro.zoo.registry import (
     get_model,
     get_trained,
     list_models,
+    playback_data,
     preprocess_images,
     speech_features,
     training_data,
@@ -28,6 +29,7 @@ __all__ = [
     "get_model",
     "get_trained",
     "list_models",
+    "playback_data",
     "preprocess_images",
     "speech_features",
     "training_data",

@@ -147,6 +147,28 @@ def training_data(entry: ZooEntry):
     raise ReproError(f"unknown task {entry.task!r}")
 
 
+def playback_data(name: str, n: int, split: str = "playback"):
+    """Deterministic raw (sensor frames, labels) for edge-app playback.
+
+    Unlike :func:`eval_data` this returns *unpreprocessed* sensor data — the
+    bytes an edge app's (possibly buggy) preprocess consumes. Labels are
+    dropped for detection/segmentation, where scalar labels don't apply
+    (assertions still run); text returns pre-encoded ids via eval_data.
+    """
+    entry = get_entry(name)
+    if entry.task == "text":
+        return eval_data(name, n, split)
+    raw, labels = {
+        "classification": image_dataset(),
+        "detection": detection_dataset(),
+        "segmentation": segmentation_dataset(),
+        "speech": speech_dataset(),
+    }[entry.task].sample(n, split)
+    if entry.task in ("detection", "segmentation"):
+        labels = None
+    return raw, labels
+
+
 def eval_data(name: str, n: int = 500, split: str = "test"):
     """Model-ready (inputs, targets) for evaluation with the *correct* pipeline."""
     entry = get_entry(name)

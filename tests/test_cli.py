@@ -67,6 +67,56 @@ class TestValidate:
         with pytest.raises(SystemExit):
             run_cli("validate", "micro_mobilenet_v1", "--bug", "nonsense")
 
+    def test_unknown_bug_key_exits_cleanly(self, capsys):
+        # Regression: a typo'd key used to be silently ignored — the CLI ran
+        # the *correct* pipeline and reported HEALTHY.
+        code, _ = run_cli("validate", "micro_mobilenet_v1",
+                          "--frames", "4", "--bug", "chanel_order=bgr")
+        assert code == 2
+        assert "chanel_order" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_default_lineup_flags_bugs(self):
+        code, text = run_cli("sweep", "micro_mobilenet_v1", "--frames", "16")
+        assert code == 1                      # bug-injected variants unhealthy
+        assert "clean" in text and "rot90" in text
+        assert "sweep verdict" in text
+
+    def test_explicit_variants_serial_healthy(self):
+        code, text = run_cli(
+            "sweep", "micro_mobilenet_v1", "--frames", "12",
+            "--executor", "serial", "--variant", "clean",
+            "--variant", "also_clean:resolver=reference")
+        assert code == 0
+        assert "HEALTHY" in text and "also_clean" in text
+
+    def test_parallel_matches_serial_output(self):
+        argv = ("sweep", "micro_mobilenet_v1", "--frames", "12",
+                "--variant", "clean", "--variant", "bgr:channel_order=bgr",
+                "--variant", "rot:rotation_k=1",
+                "--variant", "norm:normalization=[0,1]")
+        code_s, serial = run_cli(*argv, "--executor", "serial")
+        code_p, parallel = run_cli(*argv, "--executor", "process")
+        assert (code_s, serial) == (code_p, parallel)
+
+    def test_bad_variant_spec_rejected(self, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--variant", "v:oops")
+        assert code == 2
+        assert "v:oops" in capsys.readouterr().err
+
+    def test_unknown_override_key_exits_cleanly(self, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--frames", "4",
+                          "--executor", "process",
+                          "--variant", "typo:chanel_order=bgr")
+        assert code == 2
+        assert "chanel_order" in capsys.readouterr().err
+
+    def test_text_task_requires_explicit_variants(self, capsys):
+        code, _ = run_cli("sweep", "nnlm_lite")
+        assert code == 2
+        assert "no default variants" in capsys.readouterr().err
+
 
 class TestProfile:
     def test_prints_profile_and_total(self):

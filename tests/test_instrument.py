@@ -57,6 +57,37 @@ class TestMonitorLifecycle:
         with pytest.raises(ValidationError):
             EdgeMLMonitor().on_sensor_stop()
 
+    # Regression: a lazily-opened frame with no following on_inf_stop used
+    # to vanish — trailing sensor-only logs were silently lost.
+    def test_flush_closes_trailing_lazy_frame(self):
+        monitor = EdgeMLMonitor()
+        monitor.log_sensor("orientation", 90)
+        assert not monitor.frames
+        frame = monitor.flush()
+        assert frame is not None and len(monitor.frames) == 1
+        assert monitor.frames[0].sensors["orientation"] == 90
+
+    def test_flush_noop_without_pending_frame(self):
+        monitor = EdgeMLMonitor()
+        assert monitor.flush() is None and not monitor.frames
+
+    def test_flush_leaves_inflight_inference_frame(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        monitor.on_inf_start()          # explicit window, not a lazy frame
+        assert monitor.flush() is None
+        monitor.on_inf_stop()           # still closable normally
+        assert len(monitor.frames) == 1
+
+    def test_flushed_frame_advances_step(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        monitor.log_sensor("trailing", 1)
+        monitor.flush()
+        assert [f.step for f in monitor.frames] == [0, 1]
+        monitor.on_inf_start()
+        monitor.on_inf_stop()
+        assert monitor.frames[-1].step == 2
+
     def test_latency_from_interpreter(self, small_cnn, rng):
         from repro.perfmodel import PIXEL4_CPU
         monitor = EdgeMLMonitor()
@@ -167,6 +198,23 @@ class TestLogStore:
     def test_load_missing_rejected(self, tmp_path):
         with pytest.raises(ValidationError):
             EXrayLog.load(tmp_path / "nope")
+
+    def test_save_log_flushes_trailing_frame(self, small_cnn, rng, tmp_path):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        monitor.log_sensor("battery", 0.5)     # trailing sensor-only log
+        save_log(monitor, tmp_path / "log")
+        log = EXrayLog.load(tmp_path / "log")
+        assert len(log) == 2
+        assert log.frames[1].sensors["battery"] == 0.5
+
+    def test_from_monitor_flushes_trailing_frame(self, small_cnn, rng):
+        monitor = EdgeMLMonitor()
+        run_frames(small_cnn, monitor, rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        monitor.log("trailing_tensor", np.ones(2))
+        log = EXrayLog.from_monitor(monitor)
+        assert len(log) == 2
+        np.testing.assert_array_equal(log.frames[1].tensors["trailing_tensor"], 1)
 
     def test_from_monitor_view(self, small_cnn, rng):
         monitor = EdgeMLMonitor(per_layer=True)

@@ -59,6 +59,41 @@ class TestMakePreprocess:
         with pytest.raises(ValidationError):
             make_preprocess({"task": "smelling"})
 
+    # Regression: overrides used to be silently dropped when the key was
+    # missing from the recorded recipe, and unknown keys were ignored —
+    # bug-injection experiments could silently run the *correct* pipeline.
+    def test_override_applies_when_absent_from_recorded_recipe(self, rng):
+        sparse_meta = {
+            "task": "classification",
+            # Recorded before rotation_k existed: the field is absent.
+            "image_preprocess": {
+                "target_size": [8, 8], "resize_method": "area",
+                "channel_order": "rgb", "normalization": "[-1,1]",
+            },
+        }
+        sensor = rng.integers(0, 255, (2, 32, 32, 3)).astype(np.uint8)
+        base = make_preprocess(sparse_meta)(sensor)
+        rotated = make_preprocess(sparse_meta, {"rotation_k": 1})(sensor)
+        assert not np.allclose(base, rotated)
+
+    def test_unknown_image_override_rejected(self):
+        with pytest.raises(ValidationError, match="chanel_order"):
+            make_preprocess(IMAGE_META, {"chanel_order": "bgr"})
+
+    def test_unknown_speech_override_rejected(self):
+        with pytest.raises(ValidationError, match="unrecognized"):
+            make_preprocess(SPEECH_META, {"normalization": "[0,1]"})
+
+    def test_text_override_rejected(self):
+        with pytest.raises(ValidationError, match="unrecognized"):
+            make_preprocess({"task": "text"}, {"lowercase": True})
+
+    def test_speech_spectrogram_param_override(self, rng):
+        waves = rng.normal(size=(2, 4000)).astype(np.float32)
+        base = make_preprocess(SPEECH_META)(waves)
+        wider_hop = make_preprocess(SPEECH_META, {"hop": 250})(waves)
+        assert wider_hop.shape[1] < base.shape[1]  # fewer frames
+
 
 class TestEdgeApp:
     def make_graph_with_meta(self, small_cnn_mobile):

@@ -1,0 +1,138 @@
+"""Execution-plan tests: compilation, caching, staleness, seed parity.
+
+The parity tests pin the refactor's contract: a plan-compiled interpreter
+must be *bit-identical* to the seed (re-derive-per-call) interpreter in
+outputs, profile, simulated latency, and peak-memory accounting — wall-clock
+fields excepted, as they are measured, not computed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import PIXEL4_CPU
+from repro.runtime import (
+    ExecutionPlan,
+    Interpreter,
+    OpResolver,
+    compile_plan,
+    node_is_quantized,
+)
+
+
+def strip_wall(profile):
+    """Profile entries minus the measured wall_ms field."""
+    return [{k: v for k, v in entry.items() if k != "wall_ms"}
+            for entry in profile]
+
+
+def assert_invoke_parity(graph, x, resolver_fn=OpResolver, device=PIXEL4_CPU):
+    """Planned and unplanned interpreters must agree bit-for-bit."""
+    planned = Interpreter(graph, resolver_fn(), device=device)
+    unplanned = Interpreter(graph, resolver_fn(), device=device,
+                            use_plan=False)
+    out_p = planned.invoke(x)
+    out_u = unplanned.invoke(x)
+    assert sorted(out_p) == sorted(out_u)
+    for name in out_p:
+        np.testing.assert_array_equal(out_p[name], out_u[name])
+    assert planned.last_latency_ms == unplanned.last_latency_ms
+    assert planned.last_peak_activation_bytes == \
+        unplanned.last_peak_activation_bytes
+    assert strip_wall(planned.last_profile) == strip_wall(unplanned.last_profile)
+
+
+class TestCompile:
+    def test_bindings_cover_every_node(self, small_cnn):
+        plan = compile_plan(small_cnn, OpResolver())
+        assert len(plan) == len(small_cnn.nodes)
+        assert [b.node.name for b in plan.bindings] == \
+            [n.name for n in small_cnn.nodes]
+
+    def test_quantized_flags_match_helper(self, small_cnn_quantized):
+        plan = compile_plan(small_cnn_quantized, OpResolver())
+        for binding in plan.bindings:
+            assert binding.quantized == node_is_quantized(
+                small_cnn_quantized, binding.node)
+
+    def test_refcounts_match_consumer_counts(self, small_cnn):
+        plan = compile_plan(small_cnn, OpResolver())
+        for tensor, count in plan.initial_refcounts.items():
+            consumers = sum(tensor in n.inputs for n in small_cnn.nodes)
+            assert count == consumers
+
+    def test_work_memoized(self, small_cnn):
+        plan = compile_plan(small_cnn, OpResolver())
+        assert plan.work(0, 4) is plan.work(0, 4)  # same cached object
+        assert plan.work(0, 4) != plan.work(0, 8)  # batch-dependent
+
+    def test_compiled_once_across_invokes(self, small_cnn, rng):
+        resolver = OpResolver()
+        lookups = []
+        original = resolver.lookup
+        resolver.lookup = lambda op, q: (lookups.append(op), original(op, q))[1]
+        interp = Interpreter(small_cnn, resolver)
+        x = rng.normal(size=(1, 8, 8, 3)).astype(np.float32)
+        interp.invoke(x)
+        after_first = len(lookups)
+        interp.invoke(x)
+        assert after_first == len(small_cnn.nodes)
+        assert len(lookups) == after_first  # no lookups on the second invoke
+
+    def test_plan_property_reuses_instance(self, small_cnn):
+        interp = Interpreter(small_cnn)
+        assert isinstance(interp.plan, ExecutionPlan)
+        assert interp.plan is interp.plan
+
+
+class TestStaleness:
+    def test_register_after_invoke_recompiles(self, small_cnn, rng):
+        resolver = OpResolver()
+        interp = Interpreter(small_cnn, resolver)
+        x = rng.normal(size=(1, 8, 8, 3)).astype(np.float32)
+        interp.invoke(x)
+
+        calls = []
+
+        def spy_softmax(node, inputs, ctx):
+            calls.append(node.name)
+            from repro.kernels import softmax
+            return softmax(inputs[0])
+
+        resolver.register("softmax", False, spy_softmax)
+        interp.invoke(x)
+        assert calls == ["probs"]  # the late-registered kernel executed
+
+    def test_stale_flag(self, small_cnn):
+        resolver = OpResolver()
+        plan = compile_plan(small_cnn, resolver)
+        assert not plan.stale()
+        resolver.register("softmax", False, lambda n, i, c: i[0])
+        assert plan.stale()
+
+
+class TestSeedParity:
+    def test_small_cnn_float(self, small_cnn_mobile, rng):
+        x = rng.normal(size=(3, 8, 8, 3)).astype(np.float32)
+        assert_invoke_parity(small_cnn_mobile, x)
+
+    def test_small_cnn_quantized(self, small_cnn_quantized, rng):
+        x = rng.normal(size=(3, 8, 8, 3)).astype(np.float32)
+        assert_invoke_parity(small_cnn_quantized, x)
+
+    def test_wall_clock_mode_outputs_match(self, small_cnn, rng):
+        # No device: latency is wall-clock and cannot be compared, but
+        # outputs and memory accounting still must match.
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        planned = Interpreter(small_cnn)
+        unplanned = Interpreter(small_cnn, use_plan=False)
+        np.testing.assert_array_equal(
+            planned.invoke_single(x), unplanned.invoke_single(x))
+        assert planned.last_peak_activation_bytes == \
+            unplanned.last_peak_activation_bytes
+
+    @pytest.mark.parametrize("stage", ["mobile", "quantized"])
+    def test_zoo_model_parity(self, stage):
+        from repro.zoo import eval_data, get_model
+        graph = get_model("micro_mobilenet_v1", stage=stage)
+        x, _ = eval_data("micro_mobilenet_v1", 4, "plan-parity")
+        assert_invoke_parity(graph, np.asarray(x, dtype=np.float32))

@@ -179,6 +179,17 @@ class TestSpectrogram:
         expected = int(500 * 256 / sr)
         assert abs(peak_bin - expected) <= 1
 
+    def test_short_waveform_rejected(self, rng):
+        # Regression: waveforms shorter than frame_len used to produce an
+        # empty (N, 0, bins) feature tensor silently.
+        waves = rng.normal(size=(2, 100)).astype(np.float32)
+        with pytest.raises(KernelError, match="100.*256"):
+            spectrogram(waves, frame_len=256, hop=125)
+
+    def test_exact_frame_len_accepted(self, rng):
+        spec = spectrogram(rng.normal(size=(1, 256)), frame_len=256, hop=125)
+        assert spec.shape[1] == 1  # exactly one frame, not zero
+
     def test_global_db_bounded(self, rng):
         spec = spectrogram(rng.normal(size=(2, 4000)))
         out = SPEC_NORMALIZATIONS["global_db"].apply(spec)
