@@ -28,7 +28,7 @@ from repro.graph import save_model
 from repro.instrument import MLEXray
 from repro.perfmodel import DEVICES
 from repro.pipelines import EdgeApp, build_reference_app, make_preprocess
-from repro.runtime.resolver import KERNEL_BUG_PRESETS, make_resolver
+from repro.runtime.resolver import KERNEL_BUG_PRESETS, RESOLVERS, make_resolver
 from repro.util.errors import ReproError, ValidationError
 from repro.util.tabulate import format_table
 from repro.validate import DebugSession, find_stragglers, layer_latency_profile
@@ -38,6 +38,7 @@ from repro.validate.sweep import (
     parse_variant_spec,
     run_sweep,
 )
+from repro.validate.triage import triage_sweep
 from repro.zoo import (
     eval_data,
     get_entry,
@@ -115,10 +116,22 @@ def cmd_sweep(args, out) -> int:
                 f"no default variants for task {entry.task!r}; pass --variant "
                 "NAME[:key=value,...] explicitly")
         variants = list(DEFAULT_IMAGE_VARIANTS)
+
+    def progress(result, n_done, n_total):
+        # Streamed mode: print each variant's verdict the moment it
+        # completes (failure-prone variants are dispatched first); the
+        # aggregate report follows in lineup order.
+        print(f"[{n_done}/{n_total}] {result.variant.name}: "
+              f"{result.verdict()}", file=out, flush=True)
+
     report = run_sweep(
         args.model, variants, frames=args.frames, executor=args.executor,
         workers=args.workers, always_assert=args.always_assert,
+        max_failures=args.max_failures, deadline_s=args.deadline_s,
+        on_result=progress if args.stream else None,
     )
+    if args.triage:
+        report.triage = triage_sweep(report)
     print(report.render(verbose=args.verbose), file=out)
     return 0 if report.healthy else 1
 
@@ -172,7 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a preprocessing bug (repeatable), e.g. "
                         "channel_order=bgr, normalization=[0,1], rotation_k=1")
     p.add_argument("--resolver", default="optimized",
-                   choices=("optimized", "reference"))
+                   choices=sorted(RESOLVERS))
     p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     p.add_argument("--always-assert", action="store_true",
                    help="run assertions even when accuracy looks healthy")
@@ -195,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run assertions even when accuracy looks healthy")
     p.add_argument("--verbose", action="store_true",
                    help="print every variant's full validation report")
+    p.add_argument("--stream", action="store_true",
+                   help="print each variant's verdict as it completes "
+                        "(failure-prone variants run first)")
+    p.add_argument("--max-failures", type=int, default=None, metavar="N",
+                   help="stop dispatching variants once N have failed; "
+                        "undispatched variants are reported as skipped")
+    p.add_argument("--deadline-s", type=float, default=None, metavar="SEC",
+                   help="wall-clock budget for the sweep; stragglers past "
+                        "it are cancelled")
+    p.add_argument("--triage", action="store_true",
+                   help="cluster variants by layer-drift fingerprint and "
+                        "label each cluster with a root-cause hypothesis")
 
     p = sub.add_parser("profile", help="per-layer latency on a simulated device")
     p.add_argument("model")
@@ -203,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", type=int, default=4)
     p.add_argument("--device", default="pixel4_cpu", choices=sorted(DEVICES))
     p.add_argument("--resolver", default="optimized",
-                   choices=("optimized", "reference"))
+                   choices=sorted(RESOLVERS))
     p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     return parser
 

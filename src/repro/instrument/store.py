@@ -141,6 +141,20 @@ class EXrayLog:
         ordered = list(frame.layer_latency_ms)
         return [n for n in ordered if f"layer/{n}" in frame.tensors]
 
+    def layer_schedule(self) -> tuple[tuple[str, str], ...]:
+        """Stable ``(layer, op)`` keys in execution order.
+
+        The schedule is the cross-variant alignment key for layer-drift
+        fingerprints: two logs of the same model (at any deployment stage —
+        the conversion passes preserve tensor names) agree on the keys of
+        their shared layers, so per-layer vectors indexed by this schedule
+        are directly comparable across sweep variants.
+        """
+        if not self.frames:
+            return ()
+        ops = self.frames[0].layer_ops
+        return tuple((name, ops.get(name, "?")) for name in self.layer_names())
+
     def layer_output(self, layer: str, frame_idx: int = 0) -> np.ndarray:
         return self.frames[frame_idx].tensor(f"layer/{layer}")
 

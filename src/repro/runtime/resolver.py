@@ -110,8 +110,34 @@ class ReferenceOpResolver(BaseOpResolver):
         super().__init__(bugs=bugs, qkernels=_qref)
 
 
+RESOLVERS: dict[str, Callable[..., BaseOpResolver]] = {
+    "optimized": OpResolver,
+    "reference": ReferenceOpResolver,
+}
+"""Named resolver factories (name -> ``factory(bugs=...)``).
+
+The registry is the single source of truth for which resolver names are
+valid: :func:`make_resolver`, the CLI ``--resolver`` choices, and sweep
+variant validation all consult it, so registering a resolver here makes it
+sweepable everywhere. Process-pool sweeps re-import this module in workers,
+so factories registered at runtime are only visible to serial and thread
+executors unless the registration also runs at import time in the worker.
+"""
+
+
+def register_resolver(name: str, factory: Callable[..., BaseOpResolver]) -> None:
+    """Register a custom resolver factory under ``name``.
+
+    ``factory`` must accept a ``bugs=`` keyword (a :class:`KernelBugs`) and
+    return a :class:`BaseOpResolver`.
+    """
+    if not name or not isinstance(name, str):
+        raise ValidationError(f"resolver name must be a non-empty string, got {name!r}")
+    RESOLVERS[name] = factory
+
+
 def make_resolver(kind: str, kernel_bugs: str = "none") -> BaseOpResolver:
-    """Build a builtin resolver by name, with a named kernel-bug preset."""
+    """Build a registered resolver by name, with a named kernel-bug preset."""
     try:
         bugs = KERNEL_BUG_PRESETS[kernel_bugs]
     except KeyError:
@@ -119,8 +145,11 @@ def make_resolver(kind: str, kernel_bugs: str = "none") -> BaseOpResolver:
             f"unknown kernel-bug preset {kernel_bugs!r}; "
             f"available: {sorted(KERNEL_BUG_PRESETS)}"
         ) from None
-    if kind not in ("optimized", "reference"):
+    try:
+        factory = RESOLVERS[kind]
+    except KeyError:
         raise ValidationError(
-            f"unknown resolver kind {kind!r}; use 'optimized' or 'reference'")
-    return (ReferenceOpResolver(bugs=bugs) if kind == "reference"
-            else OpResolver(bugs=bugs))
+            f"unknown resolver kind {kind!r}; "
+            f"available: {sorted(RESOLVERS)}"
+        ) from None
+    return factory(bugs=bugs)

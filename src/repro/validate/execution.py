@@ -1,0 +1,114 @@
+"""Sweep variant execution: the per-variant worker and pool construction.
+
+One :func:`run_variant` call runs a deployment variant end to end —
+instrumented edge app, (shared) reference pipeline, and a full
+:class:`~repro.validate.session.DebugSession` — and returns a
+:class:`~repro.validate.reporting.VariantResult`. Everything here is
+top-level and picklable so process pools can execute it; determinism of
+the zoo cache, playback data, and the device latency model makes parallel
+results byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.instrument.monitor import EdgeMLMonitor
+from repro.instrument.store import EXrayLog
+from repro.perfmodel.device import DEVICES
+from repro.pipelines.edge import EdgeApp, make_preprocess
+from repro.pipelines.reference import build_reference_app
+from repro.runtime.resolver import make_resolver
+from repro.util.errors import ValidationError
+from repro.validate.reporting import VariantResult
+from repro.validate.session import DebugSession
+from repro.validate.variants import SweepVariant
+
+EXECUTORS = ("process", "thread", "serial")
+
+
+def check_executor(executor: str, workers: int | None = None) -> None:
+    """Validate the executor name and worker count, in the parent process."""
+    if executor not in EXECUTORS:
+        raise ValidationError(
+            f"unknown executor {executor!r}; use one of {EXECUTORS}")
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+
+
+def make_pool(
+    executor: str, n_jobs: int, workers: int | None,
+) -> tuple[Executor, int]:
+    """Build the process/thread pool for ``n_jobs`` variants.
+
+    Returns the pool plus its worker count (the scheduler's in-flight
+    window).
+    """
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    max_workers = workers or min(n_jobs, os.cpu_count() or 1)
+    return pool_cls(max_workers=max_workers), max_workers
+
+
+def build_reference_log(model: str, frames: int, tag: str = "sweep") -> EXrayLog:
+    """Run the model's reference pipeline once and return its log.
+
+    The reference run depends only on (model, frames, tag) — never on a
+    variant — so a sweep computes it once and shares it across workers.
+    """
+    from repro.zoo import get_model, playback_data
+
+    raw, labels = playback_data(model, frames, tag)
+    reference = build_reference_app(get_model(model, "mobile"))
+    reference.run(raw, labels)
+    return reference.log()
+
+
+def run_variant(
+    model: str,
+    variant: SweepVariant,
+    frames: int = 16,
+    always_assert: bool = False,
+    tag: str = "sweep",
+    ref_log: EXrayLog | None = None,
+) -> VariantResult:
+    """Run one deployment variant end to end: edge app, reference, session.
+
+    Top-level (picklable) so process pools can execute it; relies only on
+    the deterministic zoo cache and playback data. ``ref_log`` shares a
+    precomputed reference run (see :func:`build_reference_log`); without
+    one, the variant runs its own reference pipeline.
+    """
+    from repro.zoo import get_entry, get_model, playback_data
+
+    variant.check()
+    entry = get_entry(model)
+    graph = get_model(model, stage=variant.stage)
+    raw, labels = playback_data(model, frames, tag)
+
+    preprocess = make_preprocess(graph.metadata["pipeline"], variant.overrides) \
+        if variant.overrides else None
+    edge = EdgeApp(
+        graph,
+        preprocess=preprocess,
+        device=DEVICES[variant.device],
+        resolver=make_resolver(variant.resolver, variant.kernel_bugs),
+        monitor=EdgeMLMonitor("edge", per_layer=True),
+    )
+    edge.run(raw, labels, log_raw=entry.task == "classification")
+    if ref_log is None:
+        ref_log = build_reference_log(model, frames, tag)
+
+    edge_log = edge.log()
+    report = DebugSession(edge_log, ref_log, task=entry.task).run(
+        always_run_assertions=always_assert)
+    return VariantResult(
+        variant=variant,
+        report=report,
+        mean_latency_ms=edge_log.mean_latency_ms(),
+        peak_memory_mb=edge_log.peak_memory_mb(),
+    )
+
+
+def _run_variant_args(args) -> VariantResult:
+    return run_variant(*args)

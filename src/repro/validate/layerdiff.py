@@ -31,13 +31,25 @@ def rmse(edge: np.ndarray, ref: np.ndarray) -> float:
     return float(np.sqrt(np.mean((edge - ref) ** 2)))
 
 
+def ref_span(ref: np.ndarray) -> float:
+    """The reference tensor's output scale: ``max - min``.
+
+    A span of 0 (constant layer output) makes normalized rMSE ill-defined;
+    callers that care mark the layer via :attr:`LayerDiff.degenerate_ref`.
+    """
+    ref = np.asarray(ref, dtype=np.float64)
+    return float(ref.max() - ref.min())
+
+
 def normalized_rmse(edge: np.ndarray, ref: np.ndarray) -> float:
     """rMSE normalized by the reference layer's output scale (paper §3.4)."""
-    ref = np.asarray(ref, dtype=np.float64)
-    span = float(ref.max() - ref.min())
+    span = ref_span(ref)
     if span <= 0:
         # Degenerate reference (constant layer output): fall back to rMSE so
-        # a real discrepancy still registers.
+        # a real discrepancy still registers. The value is then in absolute
+        # units, not span-relative — :func:`per_layer_diff` flags the layer
+        # (``degenerate_ref``) so downstream triage does not cluster on the
+        # unit change.
         span = 1.0
     return rmse(edge, ref) / span
 
@@ -73,12 +85,19 @@ ERROR_FUNCTIONS = {
 
 @dataclass(frozen=True)
 class LayerDiff:
-    """Per-layer discrepancy between edge and reference executions."""
+    """Per-layer discrepancy between edge and reference executions.
+
+    ``degenerate_ref`` marks layers whose reference output was constant in
+    at least one compared frame: their nrMSE fell back to absolute-unit rMSE
+    (span 1.0), so the value is not comparable to span-normalized layers and
+    fingerprinting/triage must not cluster on it.
+    """
 
     index: int
     layer: str
     op: str
     error: float
+    degenerate_ref: bool = False
 
 
 def per_layer_diff(
@@ -100,10 +119,13 @@ def per_layer_diff(
             f"unknown error function {error_fn!r}; "
             f"available: {sorted(ERROR_FUNCTIONS)}"
         ) from None
-    edge_layers = edge_log.layer_names()
+    # The edge log's (layer, op) schedule is the stable cross-variant key
+    # (names survive the conversion passes); restrict it to layers the
+    # reference also logged.
     ref_layers = set(ref_log.layer_names())
-    common = [name for name in edge_layers if name in ref_layers]
-    if not common:
+    schedule = [(name, op) for name, op in edge_log.layer_schedule()
+                if name in ref_layers]
+    if not schedule:
         raise ValidationError(
             "no common per-layer logs; run both pipelines with per_layer=True"
         )
@@ -113,15 +135,26 @@ def per_layer_diff(
     if n_frames == 0:
         raise ValidationError("logs contain no frames")
     diffs = []
-    ops = edge_log.frames[0].layer_ops
-    for index, layer in enumerate(common):
-        errors = [
-            fn(edge_log.layer_output(layer, i), ref_log.layer_output(layer, i))
-            for i in range(n_frames)
-        ]
-        diffs.append(LayerDiff(index=index, layer=layer,
-                               op=ops.get(layer, "?"),
-                               error=float(np.mean(errors))))
+    # Only nrMSE has the degenerate-span unit fallback worth flagging;
+    # other error functions keep consistent units on constant references.
+    track_degenerate = fn is normalized_rmse
+    for index, (layer, op) in enumerate(schedule):
+        errors = []
+        degenerate = False
+        for i in range(n_frames):
+            ref_out = ref_log.layer_output(layer, i)
+            edge_out = edge_log.layer_output(layer, i)
+            if track_degenerate:
+                # Inlined normalized_rmse so the span feeds the degenerate
+                # check without scanning the reference tensor twice.
+                span = ref_span(ref_out)
+                degenerate = degenerate or span <= 0
+                errors.append(rmse(edge_out, ref_out) / (span if span > 0 else 1.0))
+            else:
+                errors.append(fn(edge_out, ref_out))
+        diffs.append(LayerDiff(index=index, layer=layer, op=op,
+                               error=float(np.mean(errors)),
+                               degenerate_ref=degenerate))
     return diffs
 
 

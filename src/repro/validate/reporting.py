@@ -1,0 +1,128 @@
+"""Sweep result aggregation: per-variant outcomes and the sweep report.
+
+A :class:`VariantResult` is one variant's outcome. Under a streaming
+scheduler a variant may never execute: cancellation policies mark it
+``skipped`` (never dispatched after ``max_failures`` tripped) or
+``cancelled`` (cut off by the budget deadline), and the partial
+:class:`SweepReport` carries those markers instead of omitting the
+variants. When a :class:`~repro.validate.triage.TriageReport` is attached,
+the rendered report ends with the cross-variant root-cause cluster table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ValidationError
+from repro.util.tabulate import format_table
+from repro.validate.session import ValidationReport
+from repro.validate.variants import SweepVariant
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (triage -> reporting)
+    from repro.validate.triage import TriageReport
+
+STATUS_OK = "ok"
+STATUS_SKIPPED = "skipped"
+STATUS_CANCELLED = "cancelled"
+
+
+@dataclass
+class VariantResult:
+    """One variant's validation outcome (or why it has none).
+
+    ``report`` is ``None`` exactly when the variant never completed —
+    ``status`` then says whether it was ``skipped`` (undispatched once a
+    failure policy tripped) or ``cancelled`` (deadline hit mid-sweep).
+    """
+
+    variant: SweepVariant
+    report: ValidationReport | None
+    mean_latency_ms: float
+    peak_memory_mb: float
+    status: str = STATUS_OK
+
+    @property
+    def completed(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def healthy(self) -> bool:
+        return self.completed and self.report.healthy
+
+    @property
+    def num_issues(self) -> int:
+        return len(self.report.issues) if self.report is not None else 0
+
+    def verdict(self) -> str:
+        if not self.completed:
+            return self.status.upper()
+        return "HEALTHY" if self.healthy else f"{self.num_issues} issue(s)"
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of a deployment sweep."""
+
+    model: str
+    frames: int
+    results: list[VariantResult]
+    triage: "TriageReport | None" = field(default=None, repr=False)
+
+    @property
+    def completed(self) -> list[VariantResult]:
+        return [r for r in self.results if r.completed]
+
+    @property
+    def incomplete(self) -> list[VariantResult]:
+        return [r for r in self.results if not r.completed]
+
+    @property
+    def healthy(self) -> bool:
+        """True when every variant completed and validated clean.
+
+        A partial sweep (skipped/cancelled variants) is never healthy: a
+        failure policy tripping implies failures, and a deadline cutting
+        variants off means their health is simply unknown.
+        """
+        return not self.incomplete and all(r.healthy for r in self.completed)
+
+    def result(self, name: str) -> VariantResult:
+        for r in self.results:
+            if r.variant.name == name:
+                return r
+        raise ValidationError(
+            f"sweep has no variant {name!r}; "
+            f"available: {[r.variant.name for r in self.results]}")
+
+    def render(self, verbose: bool = False) -> str:
+        rows = []
+        for r in self.results:
+            ms = f"{r.mean_latency_ms:.2f}" if r.completed else "-"
+            rows.append((r.variant.name, r.variant.describe(), r.verdict(), ms))
+        lines = [format_table(
+            ("variant", "configuration", "verdict", "ms/frame"), rows,
+            title=f"deployment sweep: {self.model} ({self.frames} frames "
+                  f"x {len(self.results)} variants)")]
+        unhealthy = [r for r in self.completed if not r.healthy]
+        detailed = self.completed if verbose else unhealthy
+        for r in detailed:
+            lines.append(f"--- variant {r.variant.name} ---")
+            lines.append(r.report.render())
+        if self.healthy:
+            verdict = "HEALTHY"
+        elif unhealthy:
+            verdict = (f"{len(unhealthy)} of {len(self.results)} "
+                       f"variant(s) unhealthy")
+        else:
+            verdict = "INCOMPLETE"
+        if self.incomplete:
+            counts = {}
+            for r in self.incomplete:
+                counts[r.status] = counts.get(r.status, 0) + 1
+            verdict += " (" + ", ".join(
+                f"{n} {status}" for status, n in sorted(counts.items())) + ")"
+        lines.append(f"sweep verdict: {verdict}")
+        if self.triage is not None:
+            lines.append(self.triage.render())
+        return "\n".join(lines)

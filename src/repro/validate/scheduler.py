@@ -1,0 +1,244 @@
+"""Streaming sweep scheduler: asyncio dispatch, priorities, cancellation.
+
+The blocking pool in :func:`~repro.validate.sweep.run_sweep` answers "what
+happened to every variant" only after the slowest one finishes. Fleet-scale
+triage wants the opposite: :func:`stream_sweep` is an asyncio event loop
+wrapped around the same process/thread/serial executors that **yields**
+each :class:`~repro.validate.reporting.VariantResult` the moment it
+completes, dispatches variants in expected-failure order (kernel-bug
+presets and override-bearing variants first — see
+:func:`~repro.validate.variants.expected_failure_score`), and enforces
+cancellation policies:
+
+* ``max_failures``: once that many variants fail validation, nothing more
+  is dispatched; undispatched variants are yielded as ``skipped`` results
+  so the partial report still accounts for every variant.
+* ``deadline_s``: a wall-clock budget for the whole sweep; when it expires,
+  in-flight stragglers are cancelled (best effort — a running process-pool
+  job cannot be interrupted, only abandoned) and yielded as ``cancelled``.
+
+Per-variant work is deterministic and order-independent (shared reference
+log, seeded playback data, simulated latency), so draining the stream and
+re-sorting by lineup order reproduces the blocking sweep byte for byte —
+which is exactly what :func:`~repro.validate.sweep.run_sweep` now does.
+
+:func:`iter_sweep` is the synchronous bridge for non-async callers (the
+CLI's ``repro sweep --stream``): a plain generator that owns a private
+event loop and yields results as they complete.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import AsyncIterator, Callable, Iterator
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+from repro.validate.execution import (
+    _run_variant_args,
+    build_reference_log,
+    check_executor,
+    make_pool,
+)
+from repro.validate.reporting import (
+    STATUS_CANCELLED,
+    STATUS_SKIPPED,
+    VariantResult,
+)
+from repro.validate.variants import (
+    SweepVariant,
+    order_by_expected_failure,
+    plan_variants,
+)
+
+
+@dataclass(frozen=True)
+class SweepPolicy:
+    """Scheduling policy for a streaming sweep.
+
+    Attributes
+    ----------
+    max_failures:
+        Stop dispatching once this many variants have failed validation;
+        ``None`` never stops early.
+    deadline_s:
+        Wall-clock budget (seconds) for the whole sweep; stragglers running
+        past it are cancelled. ``None`` means no deadline.
+    prioritize:
+        Dispatch in expected-failure order instead of lineup order. Result
+        *contents* are order-independent, so this only changes how soon
+        failures (and thus ``max_failures``) surface.
+    """
+
+    max_failures: int | None = None
+    deadline_s: float | None = None
+    prioritize: bool = True
+
+    def check(self) -> None:
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ValidationError(
+                f"max_failures must be >= 1, got {self.max_failures}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValidationError(
+                f"deadline_s must be >= 0, got {self.deadline_s}")
+
+
+def _unrun(variant: SweepVariant, status: str) -> VariantResult:
+    """A placeholder result for a variant the scheduler never finished."""
+    return VariantResult(variant=variant, report=None, mean_latency_ms=0.0,
+                         peak_memory_mb=0.0, status=status)
+
+
+async def stream_sweep(
+    model: str,
+    variants: list[SweepVariant] | tuple[SweepVariant, ...] | None = None,
+    *,
+    frames: int = 16,
+    executor: str = "process",
+    workers: int | None = None,
+    always_assert: bool = False,
+    tag: str = "sweep",
+    policy: SweepPolicy | None = None,
+    on_dispatch: Callable[[SweepVariant], None] | None = None,
+) -> AsyncIterator[VariantResult]:
+    """Yield one :class:`VariantResult` per variant, as each completes.
+
+    Every variant in the lineup is accounted for: completed results stream
+    out in completion order, and once the sweep stops early the remaining
+    variants arrive as ``skipped``/``cancelled`` placeholders. Parameters
+    mirror :func:`~repro.validate.sweep.run_sweep`, plus ``policy``
+    (cancellation/prioritization) and ``on_dispatch`` (a hook called with
+    each variant immediately before it is handed to an executor — the seam
+    tests and progress UIs observe dispatch through).
+
+    The zoo prewarm and shared reference-pipeline run happen synchronously
+    before the first dispatch; the stream starts once workers can reuse
+    both.
+    """
+    variants = plan_variants(variants)
+    check_executor(executor, workers)
+    policy = policy or SweepPolicy()
+    policy.check()
+    order = (order_by_expected_failure(variants) if policy.prioritize
+             else list(variants))
+
+    # Warm the shared on-disk weight cache in the parent so pool workers
+    # load trained parameters instead of each retraining the model, and run
+    # the (variant-independent) reference pipeline exactly once.
+    from repro.zoo import get_trained
+    get_trained(model)
+    ref_log = build_reference_log(model, frames, tag)
+
+    loop = asyncio.get_running_loop()
+    deadline = (loop.time() + policy.deadline_s
+                if policy.deadline_s is not None else None)
+    failures = 0
+
+    def job_args(variant: SweepVariant) -> tuple:
+        # A plain args tuple + the top-level worker keeps jobs picklable
+        # for process pools.
+        return (model, variant, frames, always_assert, tag, ref_log)
+
+    def dispatch_allowed() -> bool:
+        if policy.max_failures is not None and failures >= policy.max_failures:
+            return False
+        return deadline is None or loop.time() < deadline
+
+    queue = deque(order)
+
+    if executor == "serial" or len(order) == 1:
+        # In-loop sequential execution: deterministic ground truth, still
+        # streamed — each result is yielded (and the consumer runs) before
+        # the next variant is dispatched.
+        while queue:
+            if not dispatch_allowed():
+                break
+            variant = queue.popleft()
+            if on_dispatch is not None:
+                on_dispatch(variant)
+            result = _run_variant_args(job_args(variant))
+            if not result.healthy:
+                failures += 1
+            yield result
+        tail_status = (STATUS_CANCELLED
+                       if deadline is not None and loop.time() >= deadline
+                       else STATUS_SKIPPED)
+        while queue:
+            yield _unrun(queue.popleft(), tail_status)
+        return
+
+    pool, max_workers = make_pool(executor, len(order), workers)
+    inflight: dict[asyncio.Future, SweepVariant] = {}
+    try:
+        while queue or inflight:
+            while queue and len(inflight) < max_workers \
+                    and dispatch_allowed():
+                variant = queue.popleft()
+                if on_dispatch is not None:
+                    on_dispatch(variant)
+                fut = loop.run_in_executor(
+                    pool, _run_variant_args, job_args(variant))
+                inflight[fut] = variant
+            if not inflight:
+                break  # policy tripped with nothing running: drain the tail
+            timeout = None if deadline is None else max(0.0, deadline - loop.time())
+            done, _ = await asyncio.wait(
+                set(inflight), timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED)
+            if not done:
+                # Deadline expired mid-flight: cancel stragglers (pending
+                # pool jobs are revoked; already-running ones are abandoned)
+                # and report them as cancelled.
+                for fut, variant in inflight.items():
+                    fut.cancel()
+                    fut.add_done_callback(_swallow_result)
+                    yield _unrun(variant, STATUS_CANCELLED)
+                inflight.clear()
+                break
+            for fut in done:
+                variant = inflight.pop(fut)
+                result = fut.result()
+                if not result.healthy:
+                    failures += 1
+                yield result
+        tail_status = (STATUS_CANCELLED
+                       if deadline is not None and loop.time() >= deadline
+                       else STATUS_SKIPPED)
+        while queue:
+            yield _unrun(queue.popleft(), tail_status)
+    finally:
+        for fut in inflight:  # e.g. the consumer closed the generator early
+            fut.cancel()
+            fut.add_done_callback(_swallow_result)
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _swallow_result(fut: asyncio.Future) -> None:
+    """Retrieve an abandoned future's outcome so nothing is logged at GC."""
+    if not fut.cancelled():
+        fut.exception()
+
+
+def iter_sweep(
+    model: str,
+    variants: list[SweepVariant] | tuple[SweepVariant, ...] | None = None,
+    **kwargs,
+) -> Iterator[VariantResult]:
+    """Synchronous bridge over :func:`stream_sweep`.
+
+    A plain generator driving a private event loop — each ``next()`` runs
+    the scheduler until one more :class:`VariantResult` is ready. Accepts
+    the same keyword arguments as :func:`stream_sweep`.
+    """
+    agen = stream_sweep(model, variants, **kwargs)
+    loop = asyncio.new_event_loop()
+    try:
+        while True:
+            try:
+                yield loop.run_until_complete(agen.__anext__())
+            except StopAsyncIteration:
+                return
+    finally:
+        loop.run_until_complete(agen.aclose())
+        loop.close()

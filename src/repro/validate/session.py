@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.instrument.store import EXrayLog
 from repro.util.errors import ValidationError
 from repro.util.tabulate import format_table
@@ -49,6 +51,33 @@ class ValidationReport:
         return not self.issues and (
             self.accuracy is None or not self.accuracy.degraded
         )
+
+    # ------------------------------------------------- fingerprint views
+    # Cross-variant triage consumes the full per-layer drift vector, not
+    # just the flagged subset, so the report exposes schedule-aligned views.
+
+    def layer_schedule(self) -> tuple[tuple[str, str], ...]:
+        """Stable ``(layer, op)`` keys of the compared layers, in order."""
+        return tuple((d.layer, d.op) for d in self.layer_diffs)
+
+    def drift_vector(self) -> np.ndarray:
+        """Per-layer error aligned to :meth:`layer_schedule` (float64)."""
+        return np.array([d.error for d in self.layer_diffs], dtype=np.float64)
+
+    @property
+    def first_flagged_index(self) -> int:
+        """Index (into the schedule) of the first drift jump, or -1."""
+        return self.flagged_layers[0].index if self.flagged_layers else -1
+
+    @property
+    def degenerate_indices(self) -> frozenset[int]:
+        """Schedule indices whose reference output was constant (unit change)."""
+        return frozenset(d.index for d in self.layer_diffs if d.degenerate_ref)
+
+    @property
+    def failed_checks(self) -> frozenset[str]:
+        """Names of the failed assertions — the fingerprint's symptom set."""
+        return frozenset(a.check for a in self.issues)
 
     def render(self) -> str:
         lines = ["=== ML-EXray deployment validation report ==="]

@@ -1,284 +1,67 @@
-"""Parallel deployment sweeps: one model × many edge-app variants.
+"""Deployment sweeps: one model × many edge-app variants.
 
 TinyMLOps-style fleet validation: the same model is deployed under many
 (preprocess recipe × resolver × kernel-bug preset × device × stage)
 combinations, and every variant is validated against the model's reference
-pipeline with a full :class:`~repro.validate.session.DebugSession`.  This
-is the batched form of the Figure 4/5 experiments — instead of running each
-bug-injected :class:`~repro.pipelines.edge.EdgeApp` sequentially, variants
-fan out across a process (or thread) pool and come back as one aggregate
-:class:`SweepReport`.
+pipeline with a full :class:`~repro.validate.session.DebugSession`.
 
-Workers share the on-disk zoo weight cache: :func:`run_sweep` pre-trains
-the model in the parent process, so subprocesses load cached parameters
-instead of retraining.  All data sampling and the device latency model are
-deterministic, which makes parallel results byte-identical to a serial run
-— the property the sweep tests pin down.
+This module is the stable façade over the sweep stack, which is
+decomposed by concern:
+
+* :mod:`repro.validate.variants` — variant specs, parsing, validation,
+  expected-failure priorities (planning);
+* :mod:`repro.validate.execution` — the picklable per-variant worker,
+  shared reference-pipeline run, pool construction (execution);
+* :mod:`repro.validate.scheduler` — the asyncio streaming scheduler:
+  results as they complete, failure/deadline cancellation policies
+  (:func:`~repro.validate.scheduler.stream_sweep` /
+  :func:`~repro.validate.scheduler.iter_sweep`);
+* :mod:`repro.validate.reporting` — per-variant results and the aggregate
+  :class:`SweepReport`;
+* :mod:`repro.validate.triage` — cross-variant root-cause clustering over
+  layer-drift fingerprints.
+
+:func:`run_sweep` is now a thin synchronous wrapper that drains the
+streaming scheduler and re-sorts the results into lineup order; since all
+per-variant work is deterministic and order-independent (shared reference
+log, seeded playback data, simulated latency), its reports stay
+byte-identical to serial execution.
 """
 
 from __future__ import annotations
 
-import re
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.instrument.monitor import EdgeMLMonitor
-from repro.instrument.store import EXrayLog
-from repro.perfmodel.device import DEVICES
-from repro.pipelines.edge import EdgeApp, make_preprocess
-from repro.pipelines.reference import build_reference_app
 from repro.runtime.resolver import KERNEL_BUG_PRESETS, make_resolver
-from repro.util.errors import ValidationError
-from repro.util.tabulate import format_table
-from repro.validate.session import DebugSession, ValidationReport
-
-STAGES = ("checkpoint", "mobile", "quantized")
-EXECUTORS = ("process", "thread", "serial")
-
-
-@dataclass(frozen=True)
-class SweepVariant:
-    """One deployment configuration of the swept model.
-
-    ``overrides`` are preprocess-recipe patches (the §2 bug injections);
-    the remaining fields pick the model stage, kernel resolver, kernel-bug
-    preset, and simulated device.
-    """
-
-    name: str
-    overrides: dict = field(default_factory=dict)
-    stage: str = "mobile"
-    resolver: str = "optimized"
-    kernel_bugs: str = "none"
-    device: str = "pixel4_cpu"
-
-    def check(self) -> None:
-        """Validate enum-like fields early, in the parent process."""
-        if self.stage not in STAGES:
-            raise ValidationError(
-                f"variant {self.name!r}: unknown stage {self.stage!r}; "
-                f"use one of {STAGES}")
-        if self.resolver not in ("optimized", "reference"):
-            raise ValidationError(
-                f"variant {self.name!r}: unknown resolver {self.resolver!r}")
-        if self.kernel_bugs not in KERNEL_BUG_PRESETS:
-            raise ValidationError(
-                f"variant {self.name!r}: unknown kernel-bug preset "
-                f"{self.kernel_bugs!r}; available: {sorted(KERNEL_BUG_PRESETS)}")
-        if self.device not in DEVICES:
-            raise ValidationError(
-                f"variant {self.name!r}: unknown device {self.device!r}; "
-                f"available: {sorted(DEVICES)}")
-
-    def describe(self) -> str:
-        parts = [f"stage={self.stage}", f"resolver={self.resolver}",
-                 f"device={self.device}"]
-        if self.kernel_bugs != "none":
-            parts.append(f"kernel_bugs={self.kernel_bugs}")
-        parts += [f"{k}={v}" for k, v in sorted(self.overrides.items())]
-        return ", ".join(parts)
-
-
-def coerce_override_value(key: str, value):
-    """Coerce a CLI override string into the type the recipe expects.
-
-    Integer-looking values become ints; ``target_size`` accepts ``[H,W]``
-    or ``HxW`` forms (its value is a size pair, which a plain key=value
-    string cannot otherwise carry). Normalization names like ``[0,1]``
-    are scheme *names* and stay strings.
-    """
-    if not isinstance(value, str):
-        return value
-    if key == "target_size":
-        dims = re.findall(r"\d+", value)
-        if len(dims) != 2:
-            raise ValidationError(
-                f"target_size override must name two sizes, like [64,64] "
-                f"or 64x64; got {value!r}")
-        return [int(d) for d in dims]
-    return int(value) if value.lstrip("-").isdigit() else value
-
-
-def _split_pairs(rest: str) -> list[str]:
-    """Split ``k=v,k=v`` on commas, but not inside brackets (``[0,1]``)."""
-    pairs, buf, depth = [], [], 0
-    for ch in rest:
-        if ch == "," and depth == 0:
-            pairs.append("".join(buf))
-            buf = []
-            continue
-        depth += ch in "[("
-        depth -= ch in "])"
-        buf.append(ch)
-    pairs.append("".join(buf))
-    return pairs
-
-
-def parse_variant_spec(spec: str) -> SweepVariant:
-    """Parse a CLI variant spec ``NAME[:key=value,...]``.
-
-    Keys ``stage``, ``resolver``, ``kernel_bugs``, and ``device`` set the
-    corresponding variant fields; every other key is a preprocess override
-    (integer-looking values are converted, as with ``validate --bug``).
-    Commas inside brackets do not split pairs, so normalization names like
-    ``[0,1]`` pass through intact.
-    """
-    name, _, rest = spec.partition(":")
-    name = name.strip()
-    if not name:
-        raise ValidationError(f"variant spec {spec!r} has an empty name")
-    fields: dict = {}
-    overrides: dict = {}
-    for pair in filter(None, (p.strip() for p in _split_pairs(rest))):
-        if "=" not in pair:
-            raise ValidationError(
-                f"variant spec {spec!r}: expected key=value, got {pair!r}")
-        key, value = pair.split("=", 1)
-        if key in ("stage", "resolver", "kernel_bugs", "device"):
-            fields[key] = value
-        else:
-            overrides[key] = coerce_override_value(key, value)
-    variant = SweepVariant(name=name, overrides=overrides, **fields)
-    variant.check()
-    return variant
-
-
-DEFAULT_IMAGE_VARIANTS = (
-    SweepVariant("clean"),
-    SweepVariant("bgr", {"channel_order": "bgr"}),
-    SweepVariant("norm01", {"normalization": "[0,1]"}),
-    SweepVariant("rot90", {"rotation_k": 1}),
+from repro.validate.execution import (
+    EXECUTORS,
+    build_reference_log,
+    run_variant,
 )
-"""The Figure-4(a) bug-injection lineup, as a ready-made image-task sweep."""
+from repro.validate.reporting import SweepReport, VariantResult
+from repro.validate.scheduler import SweepPolicy, iter_sweep
+from repro.validate.variants import (
+    DEFAULT_IMAGE_VARIANTS,
+    STAGES,
+    SweepVariant,
+    coerce_override_value,
+    parse_variant_spec,
+)
 
+__all__ = [
+    "DEFAULT_IMAGE_VARIANTS",
+    "EXECUTORS",
+    "KERNEL_BUG_PRESETS",
+    "STAGES",
+    "SweepReport",
+    "SweepVariant",
+    "VariantResult",
+    "build_reference_log",
+    "coerce_override_value",
+    "make_resolver",
+    "parse_variant_spec",
+    "run_sweep",
+    "run_variant",
+]
 
-@dataclass
-class VariantResult:
-    """One variant's validation outcome."""
-
-    variant: SweepVariant
-    report: ValidationReport
-    mean_latency_ms: float
-    peak_memory_mb: float
-
-    @property
-    def healthy(self) -> bool:
-        return self.report.healthy
-
-    @property
-    def num_issues(self) -> int:
-        return len(self.report.issues)
-
-
-@dataclass
-class SweepReport:
-    """Aggregate outcome of a deployment sweep."""
-
-    model: str
-    frames: int
-    results: list[VariantResult]
-
-    @property
-    def healthy(self) -> bool:
-        return all(r.healthy for r in self.results)
-
-    def result(self, name: str) -> VariantResult:
-        for r in self.results:
-            if r.variant.name == name:
-                return r
-        raise ValidationError(
-            f"sweep has no variant {name!r}; "
-            f"available: {[r.variant.name for r in self.results]}")
-
-    def render(self, verbose: bool = False) -> str:
-        rows = []
-        for r in self.results:
-            verdict = "HEALTHY" if r.healthy else f"{r.num_issues} issue(s)"
-            rows.append((r.variant.name, r.variant.describe(), verdict,
-                         f"{r.mean_latency_ms:.2f}"))
-        lines = [format_table(
-            ("variant", "configuration", "verdict", "ms/frame"), rows,
-            title=f"deployment sweep: {self.model} ({self.frames} frames "
-                  f"x {len(self.results)} variants)")]
-        unhealthy = [r for r in self.results if not r.healthy]
-        for r in (self.results if verbose else unhealthy):
-            lines.append(f"--- variant {r.variant.name} ---")
-            lines.append(r.report.render())
-        verdict = "HEALTHY" if self.healthy else (
-            f"{len(unhealthy)} of {len(self.results)} variant(s) unhealthy")
-        lines.append(f"sweep verdict: {verdict}")
-        return "\n".join(lines)
-
-
-# ------------------------------------------------------------------- workers
-
-def build_reference_log(model: str, frames: int, tag: str = "sweep") -> EXrayLog:
-    """Run the model's reference pipeline once and return its log.
-
-    The reference run depends only on (model, frames, tag) — never on a
-    variant — so a sweep computes it once and shares it across workers.
-    """
-    from repro.zoo import get_model, playback_data
-
-    raw, labels = playback_data(model, frames, tag)
-    reference = build_reference_app(get_model(model, "mobile"))
-    reference.run(raw, labels)
-    return reference.log()
-
-
-def run_variant(
-    model: str,
-    variant: SweepVariant,
-    frames: int = 16,
-    always_assert: bool = False,
-    tag: str = "sweep",
-    ref_log: EXrayLog | None = None,
-) -> VariantResult:
-    """Run one deployment variant end to end: edge app, reference, session.
-
-    Top-level (picklable) so process pools can execute it; relies only on
-    the deterministic zoo cache and playback data. ``ref_log`` shares a
-    precomputed reference run (see :func:`build_reference_log`); without
-    one, the variant runs its own reference pipeline.
-    """
-    from repro.zoo import get_entry, get_model, playback_data
-
-    variant.check()
-    entry = get_entry(model)
-    graph = get_model(model, stage=variant.stage)
-    raw, labels = playback_data(model, frames, tag)
-
-    preprocess = make_preprocess(graph.metadata["pipeline"], variant.overrides) \
-        if variant.overrides else None
-    edge = EdgeApp(
-        graph,
-        preprocess=preprocess,
-        device=DEVICES[variant.device],
-        resolver=make_resolver(variant.resolver, variant.kernel_bugs),
-        monitor=EdgeMLMonitor("edge", per_layer=True),
-    )
-    edge.run(raw, labels, log_raw=entry.task == "classification")
-    if ref_log is None:
-        ref_log = build_reference_log(model, frames, tag)
-
-    edge_log = edge.log()
-    report = DebugSession(edge_log, ref_log, task=entry.task).run(
-        always_run_assertions=always_assert)
-    return VariantResult(
-        variant=variant,
-        report=report,
-        mean_latency_ms=edge_log.mean_latency_ms(),
-        peak_memory_mb=edge_log.peak_memory_mb(),
-    )
-
-
-def _run_variant_args(args) -> VariantResult:
-    return run_variant(*args)
-
-
-# --------------------------------------------------------------------- sweep
 
 def run_sweep(
     model: str,
@@ -288,8 +71,11 @@ def run_sweep(
     workers: int | None = None,
     always_assert: bool = False,
     tag: str = "sweep",
+    max_failures: int | None = None,
+    deadline_s: float | None = None,
+    on_result=None,
 ) -> SweepReport:
-    """Validate many deployment variants of one model, in parallel.
+    """Validate many deployment variants of one model and block for all.
 
     Parameters
     ----------
@@ -308,40 +94,33 @@ def run_sweep(
         Pool size; defaults to ``min(len(variants), os.cpu_count())``.
     always_assert:
         Run root-cause assertions even when accuracy looks healthy.
+    max_failures / deadline_s:
+        Optional cancellation policy (see
+        :class:`~repro.validate.scheduler.SweepPolicy`): stop dispatching
+        after that many failed variants / cancel stragglers at the
+        wall-clock budget. Unrun variants appear in the report as
+        ``skipped``/``cancelled`` results.
+    on_result:
+        Optional ``(result, n_done, n_total)`` callback fired as each
+        variant completes, in completion order — the progress hook behind
+        ``repro sweep --stream``.
     """
-    if variants is None:
-        variants = DEFAULT_IMAGE_VARIANTS
-    variants = list(variants)
-    if not variants:
-        raise ValidationError("sweep needs at least one variant")
-    names = [v.name for v in variants]
-    dupes = sorted({n for n in names if names.count(n) > 1})
-    if dupes:
-        raise ValidationError(f"duplicate variant name(s): {dupes}")
-    for variant in variants:
-        variant.check()
-    if executor not in EXECUTORS:
-        raise ValidationError(
-            f"unknown executor {executor!r}; use one of {EXECUTORS}")
-    if workers is not None and workers < 1:
-        raise ValidationError(f"workers must be >= 1, got {workers}")
-
-    # Warm the shared on-disk weight cache in the parent so pool workers
-    # load trained parameters instead of each retraining the model, and run
-    # the (variant-independent) reference pipeline exactly once.
-    from repro.zoo import get_trained
-    get_trained(model)
-    ref_log = build_reference_log(model, frames, tag)
-
-    jobs = [(model, variant, frames, always_assert, tag, ref_log)
-            for variant in variants]
-    if executor == "serial" or len(variants) == 1:
-        results = [_run_variant_args(job) for job in jobs]
-    else:
-        import os
-        pool_cls = (ProcessPoolExecutor if executor == "process"
-                    else ThreadPoolExecutor)
-        max_workers = workers or min(len(variants), os.cpu_count() or 1)
-        with pool_cls(max_workers=max_workers) as pool:
-            results = list(pool.map(_run_variant_args, jobs))
+    # The scheduler owns validation (plan_variants); here the lineup is
+    # only needed for its length and report order.
+    variants = list(variants if variants is not None
+                    else DEFAULT_IMAGE_VARIANTS)
+    policy = SweepPolicy(max_failures=max_failures, deadline_s=deadline_s)
+    results = []
+    for result in iter_sweep(
+            model, variants, frames=frames, executor=executor,
+            workers=workers, always_assert=always_assert, tag=tag,
+            policy=policy):
+        results.append(result)
+        if on_result is not None:
+            on_result(result, len(results), len(variants))
+    # The scheduler streams in completion (priority) order; the report
+    # presents the lineup order, which keeps blocking-sweep output
+    # byte-identical to the pre-streaming serial implementation.
+    lineup = {variant.name: i for i, variant in enumerate(variants)}
+    results.sort(key=lambda r: lineup[r.variant.name])
     return SweepReport(model=model, frames=frames, results=results)

@@ -1,0 +1,194 @@
+"""Sweep variant planning: specs, parsing, validation, and dispatch priority.
+
+A :class:`SweepVariant` is one deployment configuration of a swept model —
+preprocess-recipe overrides (the §2 bug injections) plus stage, resolver,
+kernel-bug preset, and simulated device. This module owns everything that
+happens to variants *before* execution: parsing CLI specs, validating
+fields against the live registries, de-duplicating a lineup, and ordering
+it by expected failure so a streaming scheduler surfaces broken variants
+first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.perfmodel.device import DEVICES
+from repro.runtime.resolver import KERNEL_BUG_PRESETS, RESOLVERS
+from repro.util.errors import ValidationError
+
+STAGES = ("checkpoint", "mobile", "quantized")
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One deployment configuration of the swept model.
+
+    ``overrides`` are preprocess-recipe patches (the §2 bug injections);
+    the remaining fields pick the model stage, kernel resolver, kernel-bug
+    preset, and simulated device.
+    """
+
+    name: str
+    overrides: dict = field(default_factory=dict)
+    stage: str = "mobile"
+    resolver: str = "optimized"
+    kernel_bugs: str = "none"
+    device: str = "pixel4_cpu"
+
+    def check(self) -> None:
+        """Validate enum-like fields early, in the parent process.
+
+        The resolver name is validated against the live registry in
+        :mod:`repro.runtime.resolver`, so custom resolvers registered via
+        :func:`~repro.runtime.resolver.register_resolver` are sweepable
+        without touching this module. Note the registry caveat: process
+        pools with spawn/forkserver start methods re-import the registry
+        in workers, so runtime registrations are only visible to serial,
+        thread, and fork-started process executors.
+        """
+        if self.stage not in STAGES:
+            raise ValidationError(
+                f"variant {self.name!r}: unknown stage {self.stage!r}; "
+                f"use one of {STAGES}")
+        if self.resolver not in RESOLVERS:
+            raise ValidationError(
+                f"variant {self.name!r}: unknown resolver {self.resolver!r}; "
+                f"available: {sorted(RESOLVERS)}")
+        if self.kernel_bugs not in KERNEL_BUG_PRESETS:
+            raise ValidationError(
+                f"variant {self.name!r}: unknown kernel-bug preset "
+                f"{self.kernel_bugs!r}; available: {sorted(KERNEL_BUG_PRESETS)}")
+        if self.device not in DEVICES:
+            raise ValidationError(
+                f"variant {self.name!r}: unknown device {self.device!r}; "
+                f"available: {sorted(DEVICES)}")
+
+    def describe(self) -> str:
+        parts = [f"stage={self.stage}", f"resolver={self.resolver}",
+                 f"device={self.device}"]
+        if self.kernel_bugs != "none":
+            parts.append(f"kernel_bugs={self.kernel_bugs}")
+        parts += [f"{k}={v}" for k, v in sorted(self.overrides.items())]
+        return ", ".join(parts)
+
+
+def coerce_override_value(key: str, value):
+    """Coerce a CLI override string into the type the recipe expects.
+
+    Integer-looking values become ints; ``target_size`` accepts ``[H,W]``
+    or ``HxW`` forms (its value is a size pair, which a plain key=value
+    string cannot otherwise carry). Normalization names like ``[0,1]``
+    are scheme *names* and stay strings.
+    """
+    if not isinstance(value, str):
+        return value
+    if key == "target_size":
+        dims = re.findall(r"\d+", value)
+        if len(dims) != 2:
+            raise ValidationError(
+                f"target_size override must name two sizes, like [64,64] "
+                f"or 64x64; got {value!r}")
+        return [int(d) for d in dims]
+    return int(value) if value.lstrip("-").isdigit() else value
+
+
+def _split_pairs(rest: str) -> list[str]:
+    """Split ``k=v,k=v`` on commas, but not inside brackets (``[0,1]``)."""
+    pairs, buf, depth = [], [], 0
+    for ch in rest:
+        if ch == "," and depth == 0:
+            pairs.append("".join(buf))
+            buf = []
+            continue
+        depth += ch in "[("
+        depth -= ch in "])"
+        buf.append(ch)
+    pairs.append("".join(buf))
+    return pairs
+
+
+def parse_variant_spec(spec: str) -> SweepVariant:
+    """Parse a CLI variant spec ``NAME[:key=value,...]``.
+
+    Keys ``stage``, ``resolver``, ``kernel_bugs``, and ``device`` set the
+    corresponding variant fields; every other key is a preprocess override
+    (integer-looking values are converted, as with ``validate --bug``).
+    Commas inside brackets do not split pairs, so normalization names like
+    ``[0,1]`` pass through intact.
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValidationError(f"variant spec {spec!r} has an empty name")
+    fields: dict = {}
+    overrides: dict = {}
+    for pair in filter(None, (p.strip() for p in _split_pairs(rest))):
+        if "=" not in pair:
+            raise ValidationError(
+                f"variant spec {spec!r}: expected key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        if key in ("stage", "resolver", "kernel_bugs", "device"):
+            fields[key] = value
+        else:
+            overrides[key] = coerce_override_value(key, value)
+    variant = SweepVariant(name=name, overrides=overrides, **fields)
+    variant.check()
+    return variant
+
+
+DEFAULT_IMAGE_VARIANTS = (
+    SweepVariant("clean"),
+    SweepVariant("bgr", {"channel_order": "bgr"}),
+    SweepVariant("norm01", {"normalization": "[0,1]"}),
+    SweepVariant("rot90", {"rotation_k": 1}),
+)
+"""The Figure-4(a) bug-injection lineup, as a ready-made image-task sweep."""
+
+
+def plan_variants(
+    variants: list[SweepVariant] | tuple[SweepVariant, ...] | None,
+) -> list[SweepVariant]:
+    """Validate a sweep lineup: non-empty, unique names, fields in range.
+
+    ``None`` selects :data:`DEFAULT_IMAGE_VARIANTS`. Returns the lineup as
+    a list in its original order (the report order).
+    """
+    if variants is None:
+        variants = DEFAULT_IMAGE_VARIANTS
+    variants = list(variants)
+    if not variants:
+        raise ValidationError("sweep needs at least one variant")
+    names = [v.name for v in variants]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise ValidationError(f"duplicate variant name(s): {dupes}")
+    for variant in variants:
+        variant.check()
+    return variants
+
+
+def expected_failure_score(variant: SweepVariant) -> int:
+    """Rank a variant by how likely it is to fail validation (lower = first).
+
+    Kernel-bug presets are near-certain failures (the §4.4 injections),
+    preprocess overrides are the §2 bug lineup, and quantized/reference
+    configurations carry residual quantization-drift risk; plain variants
+    come last. A streaming scheduler dispatches in this order so failure
+    policies (``--max-failures``) trip as early as possible.
+    """
+    if variant.kernel_bugs != "none":
+        return 0
+    if variant.overrides:
+        return 1
+    if variant.stage == "quantized" or variant.resolver == "reference":
+        return 2
+    return 3
+
+
+def order_by_expected_failure(
+    variants: list[SweepVariant],
+) -> list[SweepVariant]:
+    """Stable-sort a lineup by :func:`expected_failure_score`."""
+    return sorted(variants, key=expected_failure_score)

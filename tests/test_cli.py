@@ -117,6 +117,35 @@ class TestSweep:
         assert code == 2
         assert "no default variants" in capsys.readouterr().err
 
+    def test_stream_prints_progress_then_report(self):
+        code, text = run_cli("sweep", "micro_mobilenet_v1", "--frames", "12",
+                             "--executor", "serial", "--stream")
+        assert code == 1
+        lines = text.splitlines()
+        assert lines[0].startswith("[1/4] ")  # verdicts stream first
+        assert "[4/4]" in text and "sweep verdict" in text
+        # The aggregate table still presents the lineup order.
+        assert text.index("sweep verdict") > text.index("[4/4]")
+
+    def test_max_failures_marks_skipped(self):
+        code, text = run_cli("sweep", "micro_mobilenet_v1", "--frames", "12",
+                             "--executor", "serial", "--max-failures", "1")
+        assert code == 1
+        assert "SKIPPED" in text and "skipped" in text
+
+    def test_triage_appends_cluster_table(self):
+        code, text = run_cli("sweep", "micro_mobilenet_v1", "--frames", "12",
+                             "--executor", "serial", "--triage")
+        assert code == 1
+        assert "root-cause triage" in text
+        assert "preprocessing" in text and "healthy" in text
+
+    def test_bad_max_failures_exits_cleanly(self, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--frames", "4",
+                          "--executor", "serial", "--max-failures", "0")
+        assert code == 2
+        assert "max_failures" in capsys.readouterr().err
+
 
 class TestProfile:
     def test_prints_profile_and_total(self):

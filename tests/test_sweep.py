@@ -64,6 +64,25 @@ class TestVariantSpec:
         assert v.overrides == {"target_size": [16, 16]}
         assert coerce_override_value("target_size", "16x16") == [16, 16]
 
+    def test_bad_resolver_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_variant_spec("v:resolver=turbo")
+
+    def test_registered_resolver_becomes_sweepable(self):
+        # The variant check consults the live registry, not a hardcoded
+        # name list: registering a resolver makes it sweepable immediately.
+        from repro.runtime.resolver import RESOLVERS, OpResolver, register_resolver
+        with pytest.raises(ValidationError):
+            SweepVariant("v", resolver="custom_opt").check()
+        register_resolver("custom_opt", OpResolver)
+        try:
+            v = parse_variant_spec("v:resolver=custom_opt")
+            assert v.resolver == "custom_opt"
+        finally:
+            del RESOLVERS["custom_opt"]
+        with pytest.raises(ValidationError):
+            SweepVariant("v", resolver="custom_opt").check()
+
     def test_bad_target_size_rejected(self):
         with pytest.raises(ValidationError):
             coerce_override_value("target_size", "huge")

@@ -157,3 +157,25 @@ class TestPerLayerDiff:
         edge, ref = self.make_logs(small_cnn, rng)
         diffs = per_layer_diff(edge, ref, max_frames=1)
         assert len(diffs) == len(small_cnn.nodes)
+
+    def test_degenerate_reference_layer_flagged(self, small_cnn, rng):
+        # A constant reference output makes nrMSE fall back to absolute
+        # units (span 1.0); the diff must say so instead of silently mixing
+        # unit systems.
+        edge, ref = self.make_logs(small_cnn, rng)
+        target = ref.layer_names()[1]
+        for log in (edge, ref):
+            for frame in log.frames:
+                frame.tensors[f"layer/{target}"] = np.full((2, 2), 3.0)
+        diffs = per_layer_diff(edge, ref)
+        by_layer = {d.layer: d for d in diffs}
+        assert by_layer[target].degenerate_ref
+        assert not any(d.degenerate_ref for d in diffs if d.layer != target)
+
+    def test_layer_schedule_stable_across_logs(self, small_cnn, rng):
+        edge, ref = self.make_logs(small_cnn, rng)
+        assert edge.layer_schedule() == ref.layer_schedule()
+        assert all(isinstance(op, str) for _, op in edge.layer_schedule())
+        # per_layer_diff threads exactly these keys into its diffs.
+        diffs = per_layer_diff(edge, ref)
+        assert [(d.layer, d.op) for d in diffs] == list(edge.layer_schedule())
