@@ -43,7 +43,12 @@ from repro.pipelines import (
     build_reference_app,
     make_preprocess,
 )
-from repro.runtime import Interpreter, OpResolver, ReferenceOpResolver
+from repro.runtime import (
+    BatchedOpResolver,
+    Interpreter,
+    OpResolver,
+    ReferenceOpResolver,
+)
 from repro.validate import DebugSession, ValidationReport
 
 __version__ = "1.0.0"
@@ -62,6 +67,7 @@ __all__ = [
     "KernelBugs",
     "MLEXray",
     "NO_BUGS",
+    "BatchedOpResolver",
     "OpResolver",
     "PAPER_OPTIMIZED_BUGS",
     "PAPER_REFERENCE_BUGS",

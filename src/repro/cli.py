@@ -93,8 +93,10 @@ def cmd_validate(args, out) -> int:
     overrides = _parse_overrides(args.bug or [])
     preprocess = make_preprocess(graph.metadata["pipeline"], overrides) \
         if overrides else None
-    edge = EdgeApp(graph, preprocess=preprocess,
-                   resolver=make_resolver(args.resolver, args.kernel_bugs),
+    device = DEVICES["pixel4_cpu"]  # EdgeApp's default simulated device
+    edge = EdgeApp(graph, preprocess=preprocess, device=device,
+                   resolver=make_resolver(args.resolver, args.kernel_bugs,
+                                          device=device),
                    monitor=MLEXray("edge", per_layer=True))
     edge.run(frames, labels, log_raw=entry.task == "classification")
     reference = build_reference_app(get_model(args.model, "mobile"))
@@ -129,6 +131,7 @@ def cmd_sweep(args, out) -> int:
         workers=args.workers, always_assert=args.always_assert,
         max_failures=args.max_failures, deadline_s=args.deadline_s,
         on_result=progress if args.stream else None,
+        backends=args.backends,
     )
     if args.triage:
         report.triage = triage_sweep(report)
@@ -139,8 +142,11 @@ def cmd_sweep(args, out) -> int:
 def cmd_profile(args, out) -> int:
     graph = get_model(args.model, stage=args.stage)
     frames, _ = eval_data(args.model, args.frames, "cli-profile")
-    app = EdgeApp(graph, resolver=make_resolver(args.resolver, args.kernel_bugs),
-                  device=DEVICES[args.device], monitor=MLEXray("edge"))
+    device = DEVICES[args.device]
+    app = EdgeApp(graph,
+                  resolver=make_resolver(args.resolver, args.kernel_bugs,
+                                         device=device),
+                  device=device, monitor=MLEXray("edge"))
     app.run_batched(frames[:1])  # warm validation
     app.run(frames)
     log = app.log()
@@ -185,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject a preprocessing bug (repeatable), e.g. "
                         "channel_order=bgr, normalization=[0,1], rotation_k=1")
     p.add_argument("--resolver", default="optimized",
-                   choices=sorted(RESOLVERS))
+                   choices=sorted(RESOLVERS) + ["auto"])
     p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     p.add_argument("--always-assert", action="store_true",
                    help="run assertions even when accuracy looks healthy")
@@ -200,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "kernel_bugs=, device= — e.g. "
                         "bgr:channel_order=bgr,device=pixel3_cpu. Defaults "
                         "to the Figure-4(a) bug-injection lineup")
+    p.add_argument("--backends", default=None, metavar="NAME,NAME,...",
+                   help="fan the lineup across kernel backends (one clone "
+                        "per variant per backend, named variant@backend): "
+                        "comma-separated registry names, 'auto' (per-device "
+                        "selection), or 'all' — e.g. "
+                        "--backends optimized,reference,batched")
     p.add_argument("--executor", default="process",
                    choices=("process", "thread", "serial"))
     p.add_argument("--workers", type=int, default=None,
@@ -228,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", type=int, default=4)
     p.add_argument("--device", default="pixel4_cpu", choices=sorted(DEVICES))
     p.add_argument("--resolver", default="optimized",
-                   choices=sorted(RESOLVERS))
+                   choices=sorted(RESOLVERS) + ["auto"])
     p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     return parser
 

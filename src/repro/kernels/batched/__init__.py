@@ -1,0 +1,41 @@
+"""Vectorized-batch float kernels: the ``batched`` backend's hot-op path.
+
+The builtin optimized kernels are already batch-*correct* — every array
+carries a leading N — but their per-invoke cost is dominated by the
+materialized im2col patch tensor (``extract_patches`` copies an
+``(N, oh, ow, kh, kw, C)`` array for every conv, depthwise conv, and pool).
+At deployment batch sizes that copy dwarfs the arithmetic. The kernels here
+keep the same NHWC/TF conventions but restructure each hot op so the whole
+batch moves through a handful of large numpy calls and no patch tensor is
+ever built:
+
+* ``batched_conv2d`` — 1x1 convolutions (the bulk of MobileNet-family
+  graphs) collapse to a single GEMM over all N*H*W pixels, bit-identical
+  to the im2col result; k>1 convolutions accumulate one GEMM per filter
+  tap over strided input windows;
+* ``batched_depthwise_conv2d`` — shift-and-accumulate over the kh*kw taps,
+  a fused multiply-add per tap on (N, oh, ow, C) views;
+* ``batched_avg_pool2d`` / ``batched_max_pool2d`` — the same tap loop with
+  sum/maximum reductions;
+* executor-level fusion (:mod:`repro.kernels.batched.executors`) applies
+  bias adds and relu/relu6 activations in place on the freshly allocated
+  output instead of allocating new temporaries.
+
+Ops without a batched implementation are *not* listed here; the
+:class:`~repro.runtime.resolver.BatchedOpResolver` falls back per-op to the
+builtin optimized executors, so any graph the optimized backend can run,
+the batched backend can run too.
+"""
+
+from repro.kernels.batched.conv import batched_conv2d, batched_depthwise_conv2d
+from repro.kernels.batched.executors import BATCHED_EXECUTORS, BATCHED_OPS
+from repro.kernels.batched.pool import batched_avg_pool2d, batched_max_pool2d
+
+__all__ = [
+    "BATCHED_EXECUTORS",
+    "BATCHED_OPS",
+    "batched_avg_pool2d",
+    "batched_conv2d",
+    "batched_depthwise_conv2d",
+    "batched_max_pool2d",
+]

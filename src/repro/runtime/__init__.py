@@ -14,14 +14,21 @@ from repro.runtime.plan import (
 )
 from repro.runtime.resolver import (
     KERNEL_BUG_PRESETS,
+    RESOLVERS,
+    BackendDescriptor,
     BaseOpResolver,
+    BatchedOpResolver,
     OpResolver,
     ReferenceOpResolver,
     make_resolver,
+    register_resolver,
+    select_backend,
 )
 
 __all__ = [
+    "BackendDescriptor",
     "BaseOpResolver",
+    "BatchedOpResolver",
     "ExecContext",
     "ExecutionPlan",
     "Interpreter",
@@ -29,9 +36,12 @@ __all__ = [
     "LayerRecord",
     "NodeBinding",
     "OpResolver",
+    "RESOLVERS",
     "ReferenceOpResolver",
     "compile_plan",
     "derive_bindings",
     "make_resolver",
     "node_is_quantized",
+    "register_resolver",
+    "select_backend",
 ]

@@ -30,7 +30,7 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.graph.spec import TensorSpec
-from repro.perfmodel.device import Device
+from repro.perfmodel.device import CHARGED_RESOLVER_KINDS, Device
 from repro.perfmodel.work import node_work
 from repro.runtime.plan import (
     ExecutionPlan,
@@ -106,17 +106,35 @@ class Interpreter:
     ):
         graph.validate()
         self.graph = graph
-        self.resolver = resolver or OpResolver()
         self.device = device
         self.use_plan = use_plan
         self._observers: list = []
-        self._ctx = ExecContext(graph=graph, resolver=self.resolver)
         self._plan: ExecutionPlan | None = None
+        self.resolver = resolver or OpResolver()  # property: builds the ctx
         # Results of the most recent invoke().
         self.last_latency_ms: float = 0.0
         self.last_wall_ms: float = 0.0
         self.last_peak_activation_bytes: int = 0
         self.last_profile: list[dict] = []
+
+    # --------------------------------------------------------------- resolver
+    @property
+    def resolver(self) -> BaseOpResolver:
+        """The active kernel resolver.
+
+        Assigning a new resolver rebuilds the execution context and drops
+        the compiled plan, so the next invoke executes the new backend's
+        kernels. (Plan staleness only tracks ``register()`` calls *on the
+        plan's own resolver* — it cannot see the attribute being swapped,
+        which is why the swap itself must invalidate.)
+        """
+        return self._resolver
+
+    @resolver.setter
+    def resolver(self, resolver: BaseOpResolver) -> None:
+        self._resolver = resolver
+        self._ctx = ExecContext(graph=self.graph, resolver=resolver)
+        self._plan = None
 
     # ------------------------------------------------------------------- plan
     @property
@@ -153,6 +171,7 @@ class Interpreter:
     ) -> dict[str, np.ndarray]:
         """Run the graph; returns a dict of output tensors by name."""
         values = self._prepare_feeds(feeds)
+        batch = self._feed_batch(values)
         if self.use_plan:
             plan = self.plan
             bindings: tuple[NodeBinding, ...] | list[NodeBinding] = plan.bindings
@@ -180,7 +199,7 @@ class Interpreter:
             wall_ms = (time.perf_counter() - t0) * 1e3
             out = np.asarray(out)
 
-            latency_ms = self._simulated_latency(binding, out, plan) \
+            latency_ms = self._simulated_latency(binding, batch, plan) \
                 if simulate else wall_ms
             total_latency += latency_ms
 
@@ -260,18 +279,35 @@ class Interpreter:
                 counts[t] += 1
         return counts
 
+    def _feed_batch(self, values: dict[str, np.ndarray]) -> int:
+        """Batch size of this invoke, read from the graph-input feeds.
+
+        The batch is the value bound to the inputs' dynamic (``None``)
+        spec dimensions — the same binding :func:`~repro.perfmodel.work.
+        node_work` applies to every tensor. Deriving it here, once per
+        invoke, keeps the cost model honest for nodes whose output drops
+        or relocates the batch axis (rank-1/flattened tails used to charge
+        their feature dimension as batch). Fully static graphs have no
+        dynamic dimension and describe a single sample.
+        """
+        for name in self.graph.inputs:
+            spec = self.graph.spec(name)
+            for axis, dim in enumerate(spec.shape):
+                if dim is None:
+                    return int(values[name].shape[axis])
+        return 1
+
     def _simulated_latency(
-        self, binding: NodeBinding, out: np.ndarray,
+        self, binding: NodeBinding, batch: int,
         plan: ExecutionPlan | None,
     ) -> float:
-        batch = int(out.shape[0]) if out.ndim else 1
         if plan is not None:
             work = plan.work(binding.index, batch)
             resolver_kind = plan.latency_resolver_kind
         else:
             work = node_work(self.graph, binding.node, batch=batch)
             resolver_kind = self.resolver.kind \
-                if self.resolver.kind in ("optimized", "reference") \
+                if self.resolver.kind in CHARGED_RESOLVER_KINDS \
                 else "optimized"
         return self.device.layer_latency_ms(
             binding.latency_op_class,

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.graph.spec import TensorSpec
+from repro.perfmodel.device import CHARGED_RESOLVER_KINDS
 from repro.perfmodel.work import OP_CLASS, NodeWork, node_work
 from repro.runtime.resolver import BaseOpResolver, Executor
 
@@ -90,8 +91,9 @@ class ExecutionPlan:
         at compile time; a mismatch means kernels were (re)registered and
         the plan must be recompiled.
     latency_resolver_kind:
-        The resolver kind charged by the device cost model ("optimized" or
-        "reference"; custom resolvers are charged as optimized).
+        The resolver kind handed to the device cost model ("optimized",
+        "reference", or "batched" — the model charges batched as optimized;
+        custom resolvers are charged as optimized too).
     """
 
     def __init__(self, graph: Graph, resolver: BaseOpResolver):
@@ -99,7 +101,7 @@ class ExecutionPlan:
         self.resolver = resolver
         self.resolver_version = resolver.version
         self.latency_resolver_kind = (
-            resolver.kind if resolver.kind in ("optimized", "reference")
+            resolver.kind if resolver.kind in CHARGED_RESOLVER_KINDS
             else "optimized"
         )
         self.keep = frozenset(graph.outputs)

@@ -48,6 +48,7 @@ from repro.validate.reporting import (
 )
 from repro.validate.variants import (
     SweepVariant,
+    expand_backends,
     order_by_expected_failure,
     plan_variants,
 )
@@ -101,6 +102,7 @@ async def stream_sweep(
     tag: str = "sweep",
     policy: SweepPolicy | None = None,
     on_dispatch: Callable[[SweepVariant], None] | None = None,
+    backends: list[str] | str | None = None,
 ) -> AsyncIterator[VariantResult]:
     """Yield one :class:`VariantResult` per variant, as each completes.
 
@@ -110,13 +112,17 @@ async def stream_sweep(
     mirror :func:`~repro.validate.sweep.run_sweep`, plus ``policy``
     (cancellation/prioritization) and ``on_dispatch`` (a hook called with
     each variant immediately before it is handed to an executor — the seam
-    tests and progress UIs observe dispatch through).
+    tests and progress UIs observe dispatch through). ``backends`` fans
+    the lineup across kernel backends before scheduling (see
+    :func:`~repro.validate.variants.expand_backends`).
 
     The zoo prewarm and shared reference-pipeline run happen synchronously
     before the first dispatch; the stream starts once workers can reuse
     both.
     """
     variants = plan_variants(variants)
+    if backends is not None:
+        variants = plan_variants(expand_backends(variants, backends))
     check_executor(executor, workers)
     policy = policy or SweepPolicy()
     policy.check()

@@ -43,6 +43,8 @@ from repro.validate.variants import (
     STAGES,
     SweepVariant,
     coerce_override_value,
+    expand_backends,
+    parse_backends,
     parse_variant_spec,
 )
 
@@ -56,7 +58,9 @@ __all__ = [
     "VariantResult",
     "build_reference_log",
     "coerce_override_value",
+    "expand_backends",
     "make_resolver",
+    "parse_backends",
     "parse_variant_spec",
     "run_sweep",
     "run_variant",
@@ -74,6 +78,7 @@ def run_sweep(
     max_failures: int | None = None,
     deadline_s: float | None = None,
     on_result=None,
+    backends: list[str] | str | None = None,
 ) -> SweepReport:
     """Validate many deployment variants of one model and block for all.
 
@@ -104,11 +109,19 @@ def run_sweep(
         Optional ``(result, n_done, n_total)`` callback fired as each
         variant completes, in completion order — the progress hook behind
         ``repro sweep --stream``.
+    backends:
+        Optional backend axis (a list of resolver names, a comma-separated
+        string, or ``"all"``): the lineup is fanned across these kernel
+        backends before scheduling, one clone per (variant, backend) named
+        ``variant@backend`` — the ``repro sweep --backends`` axis.
     """
     # The scheduler owns validation (plan_variants); here the lineup is
-    # only needed for its length and report order.
+    # only needed for its length and report order, so the backend axis is
+    # expanded eagerly to keep both views of the lineup identical.
     variants = list(variants if variants is not None
                     else DEFAULT_IMAGE_VARIANTS)
+    if backends is not None:
+        variants = expand_backends(variants, backends)
     policy = SweepPolicy(max_failures=max_failures, deadline_s=deadline_s)
     results = []
     for result in iter_sweep(

@@ -13,7 +13,12 @@ hypothesis via the paper's localization rule (§3.4, Figure 6):
 * **uniform** elevated drift with no jump ⇒ *stage mismatch* (wrong model
   artifact deployed);
 * latency/memory assertion failures without drift ⇒ *performance* budget
-  issue; no drift and no failures ⇒ *healthy*.
+  issue; no drift and no failures ⇒ *healthy*;
+* broken under some kernel **backends** but healthy under others with the
+  *same* preprocessing, bug preset, stage, and device ⇒
+  *kernel-implementation* difference (:data:`CAUSE_BACKEND`) — the §4.4
+  optimized-vs-reference comparison generalized to every registered
+  backend (see :func:`backend_divergences`).
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ CAUSE_PREPROCESSING = "preprocessing"
 CAUSE_KERNEL = "kernel/quantization"
 CAUSE_STAGE = "stage-mismatch"
 CAUSE_PERFORMANCE = "performance"
+CAUSE_BACKEND = "kernel-backend"
 CAUSE_UNLOCALIZED = "unlocalized"
 
 PREPROCESS_CHECKS = frozenset({
@@ -107,7 +113,7 @@ class TriageCluster:
     @property
     def label(self) -> str:
         """The cluster's one-line root-cause label (names the drifting op)."""
-        if self.cause == CAUSE_KERNEL:
+        if self.cause in (CAUSE_KERNEL, CAUSE_BACKEND):
             # Name the op from a member that actually localized a jump —
             # clustering by distance can admit members without one.
             op = next((m.first_flagged_op for m in self.members
@@ -171,13 +177,71 @@ def triage_fingerprints(
                         unfingerprinted=list(unfingerprinted or []))
 
 
+def _variant_base_key(variant) -> tuple:
+    """A variant's configuration minus the kernel backend.
+
+    Two variants sharing this key differ only in their resolver — the
+    controlled comparison ``expand_backends`` constructs.
+    """
+    return (
+        variant.stage,
+        variant.kernel_bugs,
+        variant.device,
+        tuple(sorted((k, repr(v)) for k, v in variant.overrides.items())),
+    )
+
+
+def backend_divergences(results) -> dict[str, str]:
+    """Detect variants that break only under some kernel backends.
+
+    Groups completed :class:`~repro.validate.reporting.VariantResult`\\ s
+    by everything *except* the resolver; inside a group spanning several
+    backends, an unhealthy variant with a healthy sibling is evidence for
+    the §4.4 kernel-implementation hypothesis — the preprocessing, bug
+    preset, stage, and device are all identical, so the backend's kernels
+    are the only thing left to blame. Returns ``{variant name: detail}``
+    for each such variant.
+    """
+    groups: dict[tuple, list] = {}
+    for result in results:
+        if result.completed:
+            groups.setdefault(_variant_base_key(result.variant), []).append(result)
+    divergent: dict[str, str] = {}
+    for group in groups.values():
+        if len({r.variant.resolver for r in group}) < 2:
+            continue
+        healthy = sorted(r.variant.resolver for r in group if r.healthy)
+        broken = [r for r in group if not r.healthy]
+        if not healthy or not broken:
+            continue
+        for r in broken:
+            divergent[r.variant.name] = (
+                f"same preprocessing and bug preset pass on "
+                f"{', '.join(healthy)} but fail on {r.variant.resolver} "
+                f"=> kernel-implementation difference")
+    return divergent
+
+
 def triage_sweep(report: "SweepReport", threshold: float = 0.3) -> TriageReport:
-    """Fingerprint and cluster every completed variant of a sweep."""
+    """Fingerprint and cluster every completed variant of a sweep.
+
+    When the sweep carries a backend axis (``expand_backends``), clusters
+    whose members all diverge across backends — identical configuration,
+    healthy on at least one backend, broken on this one — are relabelled
+    with the kernel-implementation hypothesis (:data:`CAUSE_BACKEND`).
+    """
     fingerprints = [
         fingerprint_report(r.variant.name, r.report)
         for r in report.results if r.report is not None
     ]
     unfingerprinted = [
         r.variant.name for r in report.results if r.report is None]
-    return triage_fingerprints(fingerprints, threshold=threshold,
-                               unfingerprinted=unfingerprinted)
+    triage = triage_fingerprints(fingerprints, threshold=threshold,
+                                 unfingerprinted=unfingerprinted)
+    divergent = backend_divergences(report.results)
+    for cluster in triage.clusters:
+        names = cluster.variant_names
+        if names and all(name in divergent for name in names):
+            cluster.cause = CAUSE_BACKEND
+            cluster.detail = divergent[names[0]]
+    return triage

@@ -43,19 +43,20 @@ class SweepVariant:
         The resolver name is validated against the live registry in
         :mod:`repro.runtime.resolver`, so custom resolvers registered via
         :func:`~repro.runtime.resolver.register_resolver` are sweepable
-        without touching this module. Note the registry caveat: process
-        pools with spawn/forkserver start methods re-import the registry
-        in workers, so runtime registrations are only visible to serial,
-        thread, and fork-started process executors.
+        without touching this module (process pools replay runtime
+        registrations in their workers — see
+        :func:`~repro.validate.execution.make_pool`). ``resolver="auto"``
+        defers the choice to the registry's per-device backend selection
+        at execution time.
         """
         if self.stage not in STAGES:
             raise ValidationError(
                 f"variant {self.name!r}: unknown stage {self.stage!r}; "
                 f"use one of {STAGES}")
-        if self.resolver not in RESOLVERS:
+        if self.resolver != "auto" and self.resolver not in RESOLVERS:
             raise ValidationError(
                 f"variant {self.name!r}: unknown resolver {self.resolver!r}; "
-                f"available: {sorted(RESOLVERS)}")
+                f"available: {sorted(RESOLVERS)} (or 'auto')")
         if self.kernel_bugs not in KERNEL_BUG_PRESETS:
             raise ValidationError(
                 f"variant {self.name!r}: unknown kernel-bug preset "
@@ -136,6 +137,60 @@ def parse_variant_spec(spec: str) -> SweepVariant:
     variant = SweepVariant(name=name, overrides=overrides, **fields)
     variant.check()
     return variant
+
+
+def parse_backends(spec: str | list[str] | tuple[str, ...]) -> list[str]:
+    """Parse a ``--backends`` value: comma-separated names or ``all``.
+
+    ``all`` selects every registered backend (sorted, for a stable lineup
+    order). Names are validated against the live registry; ``auto`` is
+    allowed and resolves per-variant against the variant's device.
+    """
+    if isinstance(spec, str):
+        names = [b.strip() for b in spec.split(",") if b.strip()]
+    else:
+        names = list(spec)
+    if names == ["all"]:
+        return sorted(RESOLVERS)
+    if not names:
+        raise ValidationError("--backends needs at least one backend name")
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise ValidationError(f"duplicate backend name(s): {dupes}")
+    for name in names:
+        if name != "auto" and name not in RESOLVERS:
+            raise ValidationError(
+                f"unknown backend {name!r}; "
+                f"available: {sorted(RESOLVERS)} (or 'auto', 'all')")
+    return names
+
+
+def expand_backends(
+    variants: list[SweepVariant] | tuple[SweepVariant, ...],
+    backends: list[str] | tuple[str, ...] | str,
+) -> list[SweepVariant]:
+    """Fan a lineup across kernel backends: one variant per (variant, backend).
+
+    Every variant is cloned once per backend with its ``resolver`` replaced
+    and ``@backend`` appended to its name (``clean`` -> ``clean@batched``),
+    keeping names unique across the expanded lineup. The expansion
+    preserves everything else — same preprocess overrides, same kernel-bug
+    preset, same stage and device — which is exactly the controlled
+    comparison the triage backend-divergence rule keys on.
+    """
+    backends = parse_backends(backends)
+    expanded = []
+    for variant in variants:
+        for backend in backends:
+            expanded.append(SweepVariant(
+                name=f"{variant.name}@{backend}",
+                overrides=dict(variant.overrides),
+                stage=variant.stage,
+                resolver=backend,
+                kernel_bugs=variant.kernel_bugs,
+                device=variant.device,
+            ))
+    return expanded
 
 
 DEFAULT_IMAGE_VARIANTS = (

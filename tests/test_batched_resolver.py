@@ -1,0 +1,203 @@
+"""Batched-backend tests: kernels, resolver fallback, backend descriptors.
+
+The batched backend's contract has three parts, all pinned here:
+
+* **kernel parity** — the vectorized-batch kernels agree with the builtin
+  float kernels (bit-for-bit where the math is shared: 1x1 and im2col
+  convolutions, dense, add/mul, max pool; to float tolerance where the
+  accumulation order differs: depthwise conv, average pool);
+* **per-op fallback** — a graph containing ops the batched backend lacks
+  executes through the builtin optimized executors and stays
+  *byte-identical* to :class:`OpResolver`;
+* **backend descriptors** — the registry carries device affinity,
+  capabilities, and priority, and ``make_resolver("auto", device=...)``
+  selects accordingly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.kernels import avg_pool2d, conv2d, depthwise_conv2d, max_pool2d
+from repro.kernels.batched import (
+    BATCHED_EXECUTORS,
+    batched_avg_pool2d,
+    batched_conv2d,
+    batched_depthwise_conv2d,
+    batched_max_pool2d,
+)
+from repro.perfmodel import DEVICES, PIXEL4_CPU
+from repro.runtime import (
+    RESOLVERS,
+    BackendDescriptor,
+    BatchedOpResolver,
+    Interpreter,
+    OpResolver,
+    make_resolver,
+    register_resolver,
+    select_backend,
+)
+from repro.runtime.executors_float import FLOAT_EXECUTORS
+from repro.util.errors import KernelError, ValidationError
+
+
+class TestBatchedKernels:
+    @pytest.mark.parametrize("k,stride,padding", [
+        (1, 1, "same"), (1, 2, "same"), (3, 1, "same"),
+        (3, 2, "same"), (3, 1, "valid"), (5, 2, "valid"),
+    ])
+    def test_conv_byte_identical(self, rng, k, stride, padding):
+        x = rng.normal(size=(6, 9, 9, 4)).astype(np.float32)
+        w = rng.normal(size=(k, k, 4, 6)).astype(np.float32)
+        b = rng.normal(size=(6,)).astype(np.float32)
+        np.testing.assert_array_equal(
+            conv2d(x, w, b, stride=stride, padding=padding),
+            batched_conv2d(x, w, b, stride=stride, padding=padding))
+
+    @pytest.mark.parametrize("k,stride,padding,mult", [
+        (3, 1, "same", 1), (3, 2, "same", 1), (3, 1, "valid", 2),
+        (5, 1, "same", 3),
+    ])
+    def test_depthwise_close(self, rng, k, stride, padding, mult):
+        x = rng.normal(size=(6, 9, 9, 4)).astype(np.float32)
+        w = rng.normal(size=(k, k, 4, mult)).astype(np.float32)
+        b = rng.normal(size=(4 * mult,)).astype(np.float32)
+        np.testing.assert_allclose(
+            depthwise_conv2d(x, w, b, stride=stride, padding=padding),
+            batched_depthwise_conv2d(x, w, b, stride=stride, padding=padding),
+            rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("pool,stride,padding", [
+        (2, None, "valid"), (3, 2, "same"), (2, 1, "valid"),
+    ])
+    def test_pools(self, rng, pool, stride, padding):
+        x = rng.normal(size=(5, 9, 9, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            max_pool2d(x, pool, stride, padding),
+            batched_max_pool2d(x, pool, stride, padding))
+        np.testing.assert_allclose(
+            avg_pool2d(x, pool, stride, padding),
+            batched_avg_pool2d(x, pool, stride, padding),
+            rtol=1e-6, atol=1e-6)
+
+    def test_conv_shape_errors(self, rng):
+        x = rng.normal(size=(2, 5, 5, 3)).astype(np.float32)
+        with pytest.raises(KernelError):
+            batched_conv2d(x, rng.normal(size=(1, 1, 4, 6)).astype(np.float32))
+        with pytest.raises(KernelError):
+            batched_depthwise_conv2d(
+                x, rng.normal(size=(3, 3, 4, 1)).astype(np.float32))
+
+
+class TestBatchedResolver:
+    def test_hot_ops_rebind_rest_falls_back(self):
+        resolver = BatchedOpResolver()
+        for op, fn in BATCHED_EXECUTORS.items():
+            assert resolver.lookup(op, False) is fn
+        # Ops without a batched kernel resolve to the builtin executors.
+        for op in ("softmax", "flatten", "batch_norm", "self_attention"):
+            assert resolver.lookup(op, False) is FLOAT_EXECUTORS[op]
+        # The whole quantized domain falls back to the optimized kernels.
+        assert resolver.lookup("conv2d", True) is OpResolver().lookup("conv2d", True)
+        assert resolver.version == 0  # construction-time bindings, not register()
+
+    def test_float_graph_outputs_close(self, small_cnn_mobile, rng):
+        x = rng.normal(size=(8, 8, 8, 3)).astype(np.float32)
+        a = Interpreter(small_cnn_mobile, OpResolver()).invoke_single(x)
+        b = Interpreter(small_cnn_mobile, BatchedOpResolver()).invoke_single(x)
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+        assert a.argmax(axis=1).tolist() == b.argmax(axis=1).tolist()
+
+    def test_quantized_graph_byte_identical(self, small_cnn_quantized, rng):
+        # int8 execution falls back entirely to the optimized kernels.
+        x = rng.normal(size=(4, 8, 8, 3)).astype(np.float32)
+        a = Interpreter(small_cnn_quantized, OpResolver()).invoke_single(x)
+        b = Interpreter(small_cnn_quantized, BatchedOpResolver()).invoke_single(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fallback_graph_byte_identical(self, rng):
+        # A graph containing ops the batched backend lacks (flatten,
+        # softmax) next to ops it covers (1x1 conv, max pool, dense) must
+        # execute via the per-op fallback and match OpResolver byte for
+        # byte.
+        b = GraphBuilder("fallback")
+        x = b.input("input", (None, 8, 8, 3))
+        h = b.conv2d(x, rng.normal(size=(1, 1, 3, 8)).astype(np.float32),
+                     rng.normal(size=(8,)).astype(np.float32),
+                     activation="relu6", name="pw")
+        h = b.add("max_pool2d", h, attrs={"pool_size": 2}, name="pool")
+        h = b.add("flatten", h, name="flat")
+        h = b.dense(h, rng.normal(size=(128, 5)).astype(np.float32),
+                    rng.normal(size=(5,)).astype(np.float32),
+                    activation="relu", name="logits")
+        h = b.softmax(h, name="probs")
+        b.mark_output(h)
+        graph = b.finish()
+
+        assert "flatten" not in BatchedOpResolver.batched_ops
+        feed = rng.normal(size=(6, 8, 8, 3)).astype(np.float32)
+        a = Interpreter(graph, OpResolver()).invoke_single(feed)
+        c = Interpreter(graph, BatchedOpResolver()).invoke_single(feed)
+        np.testing.assert_array_equal(a, c)
+
+    def test_batched_charged_as_optimized(self, small_cnn_mobile, rng):
+        # The cost model prices batched kernels with the optimized
+        # coefficients: simulated latency is backend-independent, so sweep
+        # comparisons across the two backends isolate numerical effects.
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        opt = Interpreter(small_cnn_mobile, OpResolver(), PIXEL4_CPU)
+        opt.invoke_single(x)
+        bat = Interpreter(small_cnn_mobile, BatchedOpResolver(), PIXEL4_CPU)
+        bat.invoke_single(x)
+        assert bat.last_latency_ms == opt.last_latency_ms
+
+
+class TestBackendDescriptors:
+    def test_builtin_registry_entries(self):
+        for name in ("optimized", "reference", "batched"):
+            desc = RESOLVERS[name]
+            assert isinstance(desc, BackendDescriptor)
+            assert desc.name == name
+            resolver = desc()
+            assert resolver.kind == desc.kind
+
+    def test_auto_selects_batched_on_cpu(self):
+        assert select_backend(DEVICES["pixel4_cpu"]).name == "batched"
+        assert select_backend(DEVICES["x86_emulator"]).name == "batched"
+        resolver = make_resolver("auto", device=DEVICES["pixel4_cpu"])
+        assert isinstance(resolver, BatchedOpResolver)
+
+    def test_auto_respects_device_affinity(self):
+        # The batched backend declares cpu/emulator affinity only; GPUs
+        # fall back to the next-priority backend.
+        assert select_backend(DEVICES["pixel4_gpu"]).name == "optimized"
+
+    def test_capability_filter(self):
+        assert select_backend(require={"debug"}).name == "reference"
+        with pytest.raises(ValidationError):
+            select_backend(require={"quantum"})
+
+    def test_custom_descriptor_priority_wins(self):
+        register_resolver(
+            "turbo", OpResolver, kind="optimized",
+            device_kinds=("cpu",), capabilities=("float", "int8"),
+            priority=99)
+        try:
+            assert select_backend(DEVICES["pixel4_cpu"]).name == "turbo"
+            assert select_backend(DEVICES["pixel4_gpu"]).name == "optimized"
+        finally:
+            del RESOLVERS["turbo"]
+
+    def test_register_descriptor_rekeyed(self):
+        donor = RESOLVERS["batched"]
+        desc = register_resolver("batched2", donor)
+        try:
+            assert desc.name == "batched2"
+            assert desc.factory is donor.factory
+            assert desc.priority == donor.priority
+        finally:
+            del RESOLVERS["batched2"]
+
+    def test_unknown_kind_lists_auto(self):
+        with pytest.raises(ValidationError, match="auto"):
+            make_resolver("turbo9000")

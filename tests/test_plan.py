@@ -109,6 +109,33 @@ class TestStaleness:
         resolver.register("softmax", False, lambda n, i, c: i[0])
         assert plan.stale()
 
+    def test_resolver_swap_rebinds_plan_and_ctx(self, small_cnn, rng):
+        # Regression: plan.stale() compares the *plan's* resolver version
+        # to itself, so assigning a new resolver after construction was
+        # never detected — the old kernels (and the old ExecContext) kept
+        # executing. The resolver property must invalidate both.
+        interp = Interpreter(small_cnn)
+        x = rng.normal(size=(1, 8, 8, 3)).astype(np.float32)
+        interp.invoke(x)
+        old_plan = interp.plan
+
+        calls = []
+        replacement = OpResolver()
+
+        def spy_softmax(node, inputs, ctx):
+            calls.append(node.name)
+            assert ctx.resolver is replacement  # ctx rebuilt for the swap
+            from repro.kernels import softmax
+            return softmax(inputs[0])
+
+        replacement.register("softmax", False, spy_softmax)
+        interp.resolver = replacement
+        assert interp.resolver is replacement
+        interp.invoke(x)
+        assert calls == ["probs"]  # the swapped-in resolver's kernel ran
+        assert interp.plan is not old_plan
+        assert interp.plan.resolver is replacement
+
 
 class TestSeedParity:
     def test_small_cnn_float(self, small_cnn_mobile, rng):

@@ -124,6 +124,57 @@ class TestLatency:
         with pytest.raises(ReproError):
             interp.invoke_single(rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
 
+    def test_flatten_dense_tail_latency_pinned(self, rng):
+        # Regression: batch used to be re-inferred per node from
+        # out.shape[0]; it must come from the graph-input feed, once per
+        # invoke, so every node of a flatten->dense tail is charged the
+        # same feed batch. The expected value is built from node_work at
+        # exactly that batch.
+        from repro.graph import GraphBuilder
+        from repro.perfmodel.work import OP_CLASS, node_work
+
+        b = GraphBuilder("tail")
+        x = b.input("input", (None, 4, 4, 2))
+        h = b.add("flatten", x, name="flat")
+        h = b.dense(h, rng.normal(size=(32, 3)).astype(np.float32),
+                    rng.normal(size=(3,)).astype(np.float32), name="logits")
+        b.mark_output(h)
+        graph = b.finish()
+
+        batch = 4
+        interp = Interpreter(graph, device=PIXEL4_CPU)
+        interp.invoke(rng.normal(size=(batch, 4, 4, 2)).astype(np.float32))
+
+        expected = 0.0
+        for node in graph.nodes:
+            work = node_work(graph, node, batch=batch)
+            expected += PIXEL4_CPU.layer_latency_ms(
+                OP_CLASS.get(node.op, "act"), "float", "optimized",
+                work.macs, work.elements)
+        assert interp.last_latency_ms == expected
+
+    def test_batch_not_inferred_from_node_outputs(self, rng):
+        # A dynamic non-leading dimension makes the old inference visibly
+        # wrong: with input spec (2, None) fed as (2, 8), out.shape[0] is
+        # 2 for every node, so the old code charged 2*2=4 elements instead
+        # of the actual 2*8=16.
+        from repro.graph import GraphBuilder
+        from repro.perfmodel.work import node_work
+
+        b = GraphBuilder("seq")
+        x = b.input("input", (2, None))
+        h = b.activation(x, "relu", name="act")
+        b.mark_output(h)
+        graph = b.finish()
+
+        interp = Interpreter(graph, device=PIXEL4_CPU)
+        interp.invoke(rng.normal(size=(2, 8)).astype(np.float32))
+        work = node_work(graph, graph.nodes[0], batch=8)
+        assert work.elements == 16  # the real element count of the output
+        expected = PIXEL4_CPU.layer_latency_ms(
+            "act", "float", "optimized", work.macs, work.elements)
+        assert interp.last_latency_ms == expected
+
 
 class TestResolvers:
     def test_optimized_equals_reference_float(self, small_cnn_mobile, rng):
