@@ -29,7 +29,17 @@ See ``examples/quickstart.py`` for the complete five-minute walkthrough.
 
 from repro.convert import QuantizationConfig, convert_to_mobile, quantize_graph
 from repro.graph import Graph, GraphBuilder, load_model, save_model
-from repro.instrument import EXrayLog, EdgeMLMonitor, MLEXray, save_log
+from repro.instrument import (
+    DirectorySink,
+    EXrayLog,
+    EdgeMLMonitor,
+    LogSink,
+    MLEXray,
+    MemorySink,
+    RingBufferSink,
+    TeeSink,
+    save_log,
+)
 from repro.kernels.quantized import (
     NO_BUGS,
     PAPER_OPTIMIZED_BUGS,
@@ -57,9 +67,14 @@ __all__ = [
     "DEVICES",
     "DebugSession",
     "Device",
+    "DirectorySink",
     "EXrayLog",
     "EdgeApp",
     "EdgeMLMonitor",
+    "LogSink",
+    "MemorySink",
+    "RingBufferSink",
+    "TeeSink",
     "Graph",
     "GraphBuilder",
     "ImagePreprocessConfig",

@@ -8,6 +8,8 @@ its operational surface::
     python -m repro validate micro_mobilenet_v2 --bug channel_order=bgr
     python -m repro sweep micro_mobilenet_v2 --variant clean \
         --variant bgr:channel_order=bgr --variant q:stage=quantized
+    python -m repro sweep micro_mobilenet_v2 --log-dir /tmp/sweep-logs
+    python -m repro log show /tmp/sweep-logs/clean
     python -m repro profile micro_mobilenet_v2 --stage quantized \
         --resolver reference --device pixel4_cpu
 
@@ -15,8 +17,11 @@ its operational surface::
 optional injected bugs) vs the model's reference pipeline over played-back
 data, then prints the validation report. ``sweep`` fans many deployment
 variants of one model across a worker pool and aggregates their validation
-reports. ``profile`` prints the per-layer latency profile and straggler
-analysis on a simulated device.
+reports; ``--log-dir`` streams every run's EXray log to disk as it
+happens (DirectorySink shards). ``log show`` inspects any streamed or
+saved log directory without materializing its tensors. ``profile`` prints
+the per-layer latency profile and straggler analysis on a simulated
+device.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import argparse
 import sys
 
 from repro.graph import save_model
-from repro.instrument import MLEXray
+from repro.instrument import DirectorySink, EXrayLog, MLEXray
 from repro.perfmodel import DEVICES
 from repro.pipelines import EdgeApp, build_reference_app, make_preprocess
 from repro.runtime.resolver import KERNEL_BUG_PRESETS, RESOLVERS, make_resolver
@@ -94,17 +99,21 @@ def cmd_validate(args, out) -> int:
     preprocess = make_preprocess(graph.metadata["pipeline"], overrides) \
         if overrides else None
     device = DEVICES["pixel4_cpu"]  # EdgeApp's default simulated device
+    sink = DirectorySink(args.log_dir) if args.log_dir else None
     edge = EdgeApp(graph, preprocess=preprocess, device=device,
                    resolver=make_resolver(args.resolver, args.kernel_bugs,
                                           device=device),
-                   monitor=MLEXray("edge", per_layer=True))
+                   monitor=MLEXray("edge", per_layer=True, sink=sink))
     edge.run(frames, labels, log_raw=entry.task == "classification")
+    edge.monitor.close()
     reference = build_reference_app(get_model(args.model, "mobile"))
     reference.run(frames, labels)
 
     report = DebugSession(edge.log(), reference.log(), task=entry.task).run(
         always_run_assertions=args.always_assert)
     print(report.render(), file=out)
+    if args.log_dir:
+        print(f"edge log streamed to {args.log_dir}", file=out)
     return 0 if report.healthy else 1
 
 
@@ -131,12 +140,60 @@ def cmd_sweep(args, out) -> int:
         workers=args.workers, always_assert=args.always_assert,
         max_failures=args.max_failures, deadline_s=args.deadline_s,
         on_result=progress if args.stream else None,
-        backends=args.backends,
+        backends=args.backends, log_dir=args.log_dir,
     )
     if args.triage:
         report.triage = triage_sweep(report)
     print(report.render(verbose=args.verbose), file=out)
+    if args.log_dir:
+        print(f"EXray logs streamed to {args.log_dir} "
+              f"(inspect with: repro log show {args.log_dir}/<variant>)",
+              file=out)
     return 0 if report.healthy else 1
+
+
+def cmd_log(args, out) -> int:
+    # `repro log show <dir>`: inspect a streamed/saved EXray log without
+    # materializing its tensors (a lazy EXrayLog over the directory).
+    log = EXrayLog.load(args.dir)
+    inference = len(log) - log.num_sensor_only()
+    print(f"EXray log: {args.dir}", file=out)
+    rows = [
+        ("stream", log.name),
+        ("format version", f"v{log.version}"),
+        ("per-layer tensors", "yes" if log.per_layer else "no"),
+        ("frames", f"{len(log)} ({inference} inference, "
+                   f"{log.num_sensor_only()} sensor-only)"),
+        ("bytes on disk", f"{log.log_bytes:,}"),
+        ("bytes/frame", f"{log.log_bytes / max(len(log), 1):,.0f}"),
+        ("monitor overhead", f"{log.monitor_overhead_ms:.2f} ms total"),
+    ]
+    if inference:
+        rows.append(("mean latency", f"{log.mean_latency_ms():.2f} ms/frame"))
+        rows.append(("peak memory", f"{log.peak_memory_mb():.2f} MB"))
+    if len(log):
+        first = log.frame(0)
+        if first.layer_latency_ms:
+            rows.append(("layers", str(len(first.layer_latency_ms))))
+        if first.tensors:
+            keys = sorted(first.tensors)
+            shown = ", ".join(keys[:6]) + (", ..." if len(keys) > 6 else "")
+            rows.append(("tensor keys", f"{len(keys)} ({shown})"))
+    for label, value in rows:
+        print(f"  {label:<18} {value}", file=out)
+    if args.frames:
+        print(format_table(
+            ("step", "latency_ms", "wall_ms", "memory_mb", "kind"),
+            [(f.step, f"{f.latency_ms:.2f}", f"{f.wall_ms:.2f}",
+              f"{f.memory_mb:.2f}",
+              "sensor-only" if f.sensor_only else "inference")
+             for f in _take(log.iter_frames(load_tensors=False), args.frames)],
+            title=f"first {args.frames} frame(s):"), file=out)
+    return 0
+
+
+def _take(iterator, n: int):
+    return [frame for _, frame in zip(range(n), iterator)]
 
 
 def cmd_profile(args, out) -> int:
@@ -195,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel-bugs", default="none", choices=sorted(KERNEL_BUG_PRESETS))
     p.add_argument("--always-assert", action="store_true",
                    help="run assertions even when accuracy looks healthy")
+    p.add_argument("--log-dir", default=None, metavar="DIR",
+                   help="stream the edge EXray log to DIR as the run "
+                        "happens (one JSONL line + tensor shard per frame)")
 
     p = sub.add_parser(
         "sweep", help="validate many deployment variants in parallel")
@@ -232,6 +292,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--triage", action="store_true",
                    help="cluster variants by layer-drift fingerprint and "
                         "label each cluster with a root-cause hypothesis")
+    p.add_argument("--log-dir", default=None, metavar="DIR",
+                   help="stream every run's EXray log under DIR as the "
+                        "sweep executes: the shared reference pipeline in "
+                        "DIR/reference, each variant in DIR/<variant>")
+
+    p = sub.add_parser("log", help="inspect EXray log directories")
+    logsub = p.add_subparsers(dest="log_command", required=True)
+    ps = logsub.add_parser(
+        "show", help="summarize a streamed/saved EXray log directory")
+    ps.add_argument("dir")
+    ps.add_argument("--frames", type=int, default=0, metavar="N",
+                    help="also print the first N per-frame rows")
 
     p = sub.add_parser("profile", help="per-layer latency on a simulated device")
     p.add_argument("model")
@@ -251,6 +323,7 @@ COMMANDS = {
     "train": cmd_train,
     "validate": cmd_validate,
     "sweep": cmd_sweep,
+    "log": cmd_log,
     "profile": cmd_profile,
 }
 

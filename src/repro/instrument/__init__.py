@@ -1,14 +1,36 @@
-"""ML-EXray instrumentation: the EdgeML Monitor, log records, and log store."""
+"""ML-EXray instrumentation: the EdgeML Monitor, pluggable log sinks, log
+records, and the lazy log store."""
 
 from repro.instrument.monitor import EdgeMLMonitor, MLEXray
-from repro.instrument.records import FrameLog, TraceSummary
+from repro.instrument.records import (
+    FrameLog,
+    TraceSummary,
+    frame_from_doc,
+    frame_to_doc,
+)
+from repro.instrument.sinks import (
+    DirectorySink,
+    LogSink,
+    MemorySink,
+    RingBufferSink,
+    StreamStats,
+    TeeSink,
+)
 from repro.instrument.store import EXrayLog, save_log
 
 __all__ = [
+    "DirectorySink",
     "EXrayLog",
     "EdgeMLMonitor",
     "FrameLog",
+    "LogSink",
     "MLEXray",
+    "MemorySink",
+    "RingBufferSink",
+    "StreamStats",
+    "TeeSink",
     "TraceSummary",
+    "frame_from_doc",
+    "frame_to_doc",
     "save_log",
 ]

@@ -5,28 +5,43 @@ C++/Java snippets in §3.2/appendix B). The same class instruments both the
 edge pipeline and the reference pipeline, which is what makes their logs
 directly comparable.
 
-Typical app instrumentation (compare the paper's 3-line C++ example)::
+The primary way to delimit an inference is the frame-scoped context
+manager — it opens the frame, adopts any sensor logs that preceded it, and
+emits the closed frame to the monitor's sink::
 
     monitor = MLEXray("edge_app", per_layer=False)
     monitor.attach(interpreter)
     ...
-    monitor.on_inf_start()
-    outputs = interpreter.invoke(x)
-    monitor.on_inf_stop(interpreter)
+    with monitor.frame(interpreter) as frame:
+        outputs = interpreter.invoke(x)
+        frame.tensors["model_output"] = outputs["probs"][0]
+
+The paper-facing markers remain as thin wrappers around the same
+lifecycle (``monitor.on_inf_start(); ...; monitor.on_inf_stop(interp)``),
+so the 3-line C++ example of §3.2 still reads one-to-one.
 
 Custom logging around any pipeline function::
 
     monitor.log("preprocess_out", model_input)        # a "red dot" log
     monitor.log_sensor("orientation", 90)
+
+Where closed frames *go* is the sink's decision
+(:mod:`repro.instrument.sinks`): the default :class:`MemorySink` buffers
+them all (``monitor.frames``), a :class:`DirectorySink` streams them to
+disk as they close, and a :class:`RingBufferSink` keeps a bounded window —
+the always-on production mode. ``summary()`` reflects the whole stream for
+every sink.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.instrument.records import FrameLog
+from repro.instrument.sinks import LogSink, MemorySink
 from repro.runtime.interpreter import Interpreter, LayerRecord
 from repro.util.errors import ValidationError
 
@@ -46,14 +61,22 @@ class EdgeMLMonitor:
     dequantize_layers:
         Store per-layer outputs of quantized models in the real-valued
         domain so they compare directly against float reference logs.
+    sink:
+        Where closed frames go (:class:`~repro.instrument.sinks.LogSink`).
+        Defaults to a fresh :class:`~repro.instrument.sinks.MemorySink`
+        (buffer everything — the original behavior). Pass a
+        :class:`~repro.instrument.sinks.DirectorySink` to stream frames to
+        disk as they close, or a
+        :class:`~repro.instrument.sinks.RingBufferSink` for bounded-memory
+        always-on monitoring.
     """
 
     def __init__(self, name: str = "edge", per_layer: bool = False,
-                 dequantize_layers: bool = True):
+                 dequantize_layers: bool = True, sink: LogSink | None = None):
         self.name = name
         self.per_layer = per_layer
         self.dequantize_layers = dequantize_layers
-        self.frames: list[FrameLog] = []
+        self.sink = sink if sink is not None else MemorySink()
         self.monitor_overhead_ms = 0.0
         self._current: FrameLog | None = None
         self._lazy_frame = False
@@ -61,6 +84,23 @@ class EdgeMLMonitor:
         self._sensor_started_at: float | None = None
         self._step = 0
         self._attached: list[Interpreter] = []
+        self.sink.begin(self)
+
+    @property
+    def frames(self) -> list[FrameLog]:
+        """The sink's retained frames (the full stream for a MemorySink).
+
+        Raises :class:`ValidationError` for sinks that keep nothing in
+        memory (e.g. :class:`~repro.instrument.sinks.DirectorySink` — read
+        those back with :meth:`EXrayLog.load
+        <repro.instrument.store.EXrayLog.load>`).
+        """
+        return self.sink.frames
+
+    @property
+    def num_frames(self) -> int:
+        """Frames emitted so far — whole-stream, for any sink."""
+        return self.sink.stats.num_frames
 
     # ------------------------------------------------------------ attachment
     def attach(self, interpreter: Interpreter) -> None:
@@ -69,6 +109,15 @@ class EdgeMLMonitor:
         self._attached.append(interpreter)
 
     def detach(self, interpreter: Interpreter) -> None:
+        """Stop observing an interpreter previously passed to :meth:`attach`.
+
+        Detaching an interpreter that was never attached raises
+        :class:`ValidationError` and leaves the observer state untouched.
+        """
+        if interpreter not in self._attached:
+            raise ValidationError(
+                f"monitor {self.name!r} is not attached to this interpreter; "
+                "detach() only undoes a prior attach()")
         interpreter.remove_observer(self._on_layer)
         self._attached.remove(interpreter)
 
@@ -87,6 +136,32 @@ class EdgeMLMonitor:
         self.monitor_overhead_ms += (time.perf_counter() - t0) * 1e3
 
     # ----------------------------------------------------- inference markers
+    @contextmanager
+    def frame(self, interpreter: Interpreter | None = None):
+        """Frame-scoped instrumentation: the primary inference API.
+
+        Opens a frame on entry (adopting any lazily-opened sensor frame),
+        yields the open :class:`FrameLog` so the body can attach outputs or
+        labels before the frame closes, and emits the closed frame to the
+        sink on exit::
+
+            with monitor.frame(interpreter) as frame:
+                out = interpreter.invoke(x)
+                frame.tensors["model_output"] = out["probs"][0]
+
+        If the body raises, the partial frame is *discarded* (sinks never
+        see half-recorded frames) and the exception propagates.
+        """
+        self.on_inf_start()
+        try:
+            yield self._current
+        except BaseException:
+            self._current = None
+            self._lazy_frame = False
+            self._inf_started_at = None
+            raise
+        self.on_inf_stop(interpreter)
+
     def on_inf_start(self) -> None:
         """Mark the start of one model invocation (opens a frame).
 
@@ -114,7 +189,7 @@ class EdgeMLMonitor:
             frame.memory_mb = interpreter.model_memory_bytes() / 2**20
         else:
             frame.latency_ms = frame.wall_ms
-        self.frames.append(frame)
+        self.sink.emit(frame)
         self._current = None
         self._lazy_frame = False
         self._step += 1
@@ -126,30 +201,53 @@ class EdgeMLMonitor:
 
         Sensor/custom logs open frames lazily (see :meth:`_frame_for_logging`);
         when no ``on_inf_stop`` follows — trailing sensor-only telemetry, an
-        aborted inference — the frame would otherwise never reach
-        :attr:`frames` and the logs would silently vanish.  Called by
-        :func:`~repro.instrument.store.save_log` and
-        :meth:`~repro.instrument.store.EXrayLog.from_monitor`.  A frame
-        opened by an explicit ``on_inf_start`` is left alone — that is an
-        in-flight inference, not a trailing log.
+        aborted inference — the frame would otherwise never reach the sink
+        and the logs would silently vanish.  Called by
+        :func:`~repro.instrument.store.save_log`,
+        :meth:`~repro.instrument.store.EXrayLog.from_monitor`, and
+        :meth:`close`.  A frame opened by an explicit ``on_inf_start`` is
+        left alone — that is an in-flight inference, not a trailing log.
 
-        Two caveats. A lazy frame is indistinguishable from the *leading*
-        sensor logs of an inference that has not started yet, so flush at
-        end of stream (as save_log does), not between a sensor read and its
-        ``on_inf_start`` — a mid-pipeline flush would split the sensor
-        context into its own frame.  And a flushed frame never saw an
-        inference, so it carries zero latency/memory; aggregate statistics
-        over mixed streams (``mean_latency_ms`` etc.) include those zeros.
+        The flushed frame is marked ``sensor_only``: it never saw an
+        inference, so its zero latency/memory are placeholders, and
+        :meth:`summary` excludes it from latency/wall statistics (reporting
+        it under ``sensor_only_frames`` instead).
+
+        One caveat remains: a lazy frame is indistinguishable from the
+        *leading* sensor logs of an inference that has not started yet, so
+        flush at end of stream (as save_log does), not between a sensor
+        read and its inference window — a mid-pipeline flush would split
+        the sensor context into its own frame.
         """
         if self._current is None or not self._lazy_frame:
             return None
         frame = self._current
-        self.frames.append(frame)
+        frame.sensor_only = True
+        self.sink.emit(frame)
         self._current = None
         self._lazy_frame = False
         self._inf_started_at = None
         self._step += 1
         return frame
+
+    def close(self) -> None:
+        """Flush any trailing lazy frame and finalize the sink.
+
+        For a :class:`~repro.instrument.sinks.DirectorySink` this seals the
+        on-disk stream header; for in-memory sinks it is a cheap no-op
+        besides the flush. Monitors are also context managers::
+
+            with EdgeMLMonitor("edge", sink=DirectorySink(path)) as monitor:
+                ...
+        """
+        self.flush()
+        self.sink.close()
+
+    def __enter__(self) -> "EdgeMLMonitor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------ sensor API
     def on_sensor_start(self) -> None:
@@ -212,20 +310,21 @@ class EdgeMLMonitor:
 
     # -------------------------------------------------------------- summary
     def summary(self) -> dict:
-        """Aggregate latency/memory statistics across recorded frames."""
-        if not self.frames:
+        """Aggregate latency/memory statistics across the whole stream.
+
+        Works for every sink — bounded sinks (ring buffer, directory) keep
+        running aggregates, so the summary covers every frame ever emitted,
+        not just the retained window. Latency/wall statistics cover
+        inference frames only; flushed sensor-only frames (which carry
+        zero latency by construction) are reported separately as
+        ``sensor_only_frames``.
+        """
+        stats = self.sink.stats
+        if stats.num_frames == 0:
             raise ValidationError(f"monitor {self.name!r} has no frames")
-        lat = np.array([f.latency_ms for f in self.frames])
-        wall = np.array([f.wall_ms for f in self.frames])
-        mem = max((f.memory_mb for f in self.frames), default=0.0)
-        return {
-            "num_frames": len(self.frames),
-            "mean_latency_ms": float(lat.mean()),
-            "std_latency_ms": float(lat.std()),
-            "mean_wall_ms": float(wall.mean()),
-            "peak_memory_mb": float(mem),
-            "monitor_overhead_ms": self.monitor_overhead_ms,
-        }
+        out = stats.summary()
+        out["monitor_overhead_ms"] = self.monitor_overhead_ms
+        return out
 
 
 MLEXray = EdgeMLMonitor

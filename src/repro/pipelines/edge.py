@@ -108,6 +108,11 @@ class EdgeApp:
         Simulated hardware and kernel resolver.
     monitor:
         Attached monitor; a fresh default one is created if omitted.
+    sink:
+        Log sink for the default monitor (e.g. a
+        :class:`~repro.instrument.sinks.DirectorySink` to stream frames to
+        disk as the app runs). Only used when ``monitor`` is omitted —
+        pass the sink to your own monitor otherwise.
     log_inputs:
         Log the preprocessed model input tensor per frame. Needed by the
         preprocessing assertions; disable for the lean always-on logging
@@ -121,8 +126,13 @@ class EdgeApp:
         device: Device | None = PIXEL4_CPU,
         resolver: BaseOpResolver | None = None,
         monitor: EdgeMLMonitor | None = None,
+        sink=None,
         log_inputs: bool = True,
     ):
+        if monitor is not None and sink is not None:
+            raise ValidationError(
+                "pass either a monitor or a sink, not both; a sink belongs "
+                "to exactly one monitor")
         self.log_inputs = log_inputs
         self.graph = graph
         self.pipeline_meta = graph.metadata.get("pipeline", {})
@@ -130,7 +140,7 @@ class EdgeApp:
             preprocess = make_preprocess(self.pipeline_meta)
         self.preprocess = preprocess
         self.interpreter = Interpreter(graph, resolver=resolver, device=device)
-        self.monitor = monitor or EdgeMLMonitor(name="edge")
+        self.monitor = monitor or EdgeMLMonitor(name="edge", sink=sink)
         self.monitor.attach(self.interpreter)
 
     # --------------------------------------------------------------- frames
@@ -142,7 +152,11 @@ class EdgeApp:
     ) -> np.ndarray:
         """Process items one frame at a time with full instrumentation.
 
-        Returns the stacked model outputs (one row per frame).
+        Returns the stacked model outputs (one row per frame). Each frame
+        is delimited with ``with monitor.frame(...)`` so the closed frame —
+        model output and label included — reaches the monitor's sink the
+        moment the inference window ends, whatever the sink's retention
+        policy.
         """
         outputs = []
         for i in range(len(raw_items)):
@@ -154,13 +168,12 @@ class EdgeApp:
             x = self.preprocess(raw)
             if self.log_inputs:
                 self.monitor.log("model_input", np.asarray(x[0]))
-            self.monitor.on_inf_start()
-            out = self.interpreter.invoke(np.asarray(x))
-            frame_out = next(iter(out.values()))[0]
-            self.monitor.on_inf_stop(self.interpreter)
-            self.monitor.frames[-1].tensors["model_output"] = np.array(frame_out)
-            if labels is not None:
-                self.monitor.frames[-1].scalars["label"] = float(labels[i])
+            with self.monitor.frame(self.interpreter) as frame:
+                out = self.interpreter.invoke(np.asarray(x))
+                frame_out = next(iter(out.values()))[0]
+                frame.tensors["model_output"] = np.array(frame_out)
+                if labels is not None:
+                    frame.scalars["label"] = float(labels[i])
             outputs.append(frame_out)
         return np.stack(outputs)
 

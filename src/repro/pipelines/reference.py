@@ -27,12 +27,15 @@ def build_reference_app(
     per_layer: bool = True,
     resolver: BaseOpResolver | None = None,
     preprocess=None,
+    sink=None,
 ) -> EdgeApp:
     """Construct the reference pipeline for a model graph.
 
     The graph must carry its pipeline recipe in ``metadata["pipeline"]``
     (every zoo export does); ``preprocess`` overrides it for user-defined
-    reference pipelines.
+    reference pipelines. ``sink`` routes the reference monitor's frames
+    (e.g. a :class:`~repro.instrument.sinks.DirectorySink` streams the
+    reference log to disk so sweeps can share it as a path).
     """
     meta = graph.metadata.get("pipeline")
     if meta is None and preprocess is None:
@@ -40,7 +43,7 @@ def build_reference_app(
             "graph has no pipeline metadata; pass an explicit preprocess "
             "to define a custom reference pipeline"
         )
-    monitor = EdgeMLMonitor(name="reference", per_layer=per_layer)
+    monitor = EdgeMLMonitor(name="reference", per_layer=per_layer, sink=sink)
     return EdgeApp(
         graph,
         preprocess=preprocess or make_preprocess(meta),

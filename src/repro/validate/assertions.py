@@ -58,10 +58,15 @@ class ValidationContext:
         self.extras = dict(extras or {})
 
     def edge_input(self, frame: int = 0) -> np.ndarray:
-        return self.edge_log.frames[frame].tensor("model_input")
+        # Random access via EXrayLog.frame keeps directory-backed (lazy)
+        # logs lazy, and the keys filter loads just this tensor rather
+        # than decompressing the frame's whole per-layer shard.
+        return self.edge_log.frame(frame, keys={"model_input"}) \
+            .tensor("model_input")
 
     def ref_input(self, frame: int = 0) -> np.ndarray:
-        return self.ref_log.frames[frame].tensor("model_input")
+        return self.ref_log.frame(frame, keys={"model_input"}) \
+            .tensor("model_input")
 
     def num_frames(self) -> int:
         return min(len(self.edge_log), len(self.ref_log))
@@ -210,7 +215,7 @@ class ResizeFunctionAssertion(DeploymentAssertion):
         self.candidates = candidates
 
     def check(self, ctx: ValidationContext) -> str:
-        frame = ctx.edge_log.frames[0]
+        frame = ctx.edge_log.frame(0, keys={"sensor_frame"})
         if "sensor_frame" not in frame.tensors:
             raise ValidationError(
                 "resize assertion needs the raw frame: run the edge app with "

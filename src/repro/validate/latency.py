@@ -37,21 +37,27 @@ class Straggler:
 
 
 def layer_latency_profile(log: EXrayLog) -> list[LayerLatency]:
-    """Mean per-layer latency across frames, in execution order."""
-    if not log.frames:
+    """Mean per-layer latency across frames, in execution order.
+
+    Streams the log's frame metadata (no tensor payloads are read), so the
+    profile of a directory-backed trace costs one pass over the small
+    per-frame documents.
+    """
+    if len(log) == 0:
         raise ValidationError("log contains no frames")
-    order = list(log.frames[0].layer_latency_ms)
+    first = log.frame(0)
+    order = list(first.layer_latency_ms)
     if not order:
         raise ValidationError(
             "log has no per-layer latency; attach the monitor to the interpreter"
         )
     sums = {name: 0.0 for name in order}
-    for frame in log.frames:
+    for frame in log.iter_frames(load_tensors=False):
         for name, ms in frame.layer_latency_ms.items():
             sums[name] = sums.get(name, 0.0) + ms
-    n = len(log.frames)
+    n = len(log)
     total = sum(sums.values()) or 1.0
-    ops = log.frames[0].layer_ops
+    ops = first.layer_ops
     return [
         LayerLatency(layer=name, op=ops.get(name, "?"),
                      latency_ms=sums[name] / n, share=sums[name] / total)

@@ -111,6 +111,12 @@ def per_layer_diff(
     Layers are matched by name (the quantization pass preserves tensor
     names precisely so this alignment holds across deployment stages);
     layers present in only one log are skipped.
+
+    Consumes both logs through :meth:`EXrayLog.iter_frames`, so validating
+    a directory-backed (streamed) trace holds one edge/reference frame
+    pair's tensors in memory at a time — per-layer validation of a
+    10k-frame trace never materializes the whole trace. Only the per-layer
+    error scalars accumulate.
     """
     try:
         fn = ERROR_FUNCTIONS[error_fn]
@@ -134,28 +140,31 @@ def per_layer_diff(
         n_frames = min(n_frames, max_frames)
     if n_frames == 0:
         raise ValidationError("logs contain no frames")
-    diffs = []
     # Only nrMSE has the degenerate-span unit fallback worth flagging;
     # other error functions keep consistent units on constant references.
     track_degenerate = fn is normalized_rmse
-    for index, (layer, op) in enumerate(schedule):
-        errors = []
-        degenerate = False
-        for i in range(n_frames):
-            ref_out = ref_log.layer_output(layer, i)
-            edge_out = edge_log.layer_output(layer, i)
+    errors: list[list[float]] = [[] for _ in schedule]
+    degenerate = [False] * len(schedule)
+    frame_pairs = zip(edge_log.iter_frames(), ref_log.iter_frames())
+    for _, (edge_frame, ref_frame) in zip(range(n_frames), frame_pairs):
+        for index, (layer, op) in enumerate(schedule):
+            ref_out = ref_frame.tensor(f"layer/{layer}")
+            edge_out = edge_frame.tensor(f"layer/{layer}")
             if track_degenerate:
                 # Inlined normalized_rmse so the span feeds the degenerate
                 # check without scanning the reference tensor twice.
                 span = ref_span(ref_out)
-                degenerate = degenerate or span <= 0
-                errors.append(rmse(edge_out, ref_out) / (span if span > 0 else 1.0))
+                degenerate[index] = degenerate[index] or span <= 0
+                errors[index].append(
+                    rmse(edge_out, ref_out) / (span if span > 0 else 1.0))
             else:
-                errors.append(fn(edge_out, ref_out))
-        diffs.append(LayerDiff(index=index, layer=layer, op=op,
-                               error=float(np.mean(errors)),
-                               degenerate_ref=degenerate))
-    return diffs
+                errors[index].append(fn(edge_out, ref_out))
+    return [
+        LayerDiff(index=index, layer=layer, op=op,
+                  error=float(np.mean(errors[index])),
+                  degenerate_ref=degenerate[index])
+        for index, (layer, op) in enumerate(schedule)
+    ]
 
 
 def locate_discrepancies(

@@ -34,6 +34,9 @@ class VariantResult:
     ``report`` is ``None`` exactly when the variant never completed —
     ``status`` then says whether it was ``skipped`` (undispatched once a
     failure policy tripped) or ``cancelled`` (deadline hit mid-sweep).
+    ``log_dir`` names the on-disk EXray log directory when the sweep
+    streamed edge logs (``repro sweep --log-dir``); inspect it with
+    ``repro log show`` or :meth:`EXrayLog.load`.
     """
 
     variant: SweepVariant
@@ -41,6 +44,7 @@ class VariantResult:
     mean_latency_ms: float
     peak_memory_mb: float
     status: str = STATUS_OK
+    log_dir: str | None = None
 
     @property
     def completed(self) -> bool:

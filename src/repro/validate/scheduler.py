@@ -22,6 +22,13 @@ log, seeded playback data, simulated latency), so draining the stream and
 re-sorting by lineup order reproduces the blocking sweep byte for byte —
 which is exactly what :func:`~repro.validate.sweep.run_sweep` now does.
 
+The shared reference pipeline streams to a
+:class:`~repro.instrument.sinks.DirectorySink` directory exactly once,
+and jobs carry its *path* — workers open it as a lazy
+:class:`~repro.instrument.store.EXrayLog` instead of deserializing a
+pickled per-layer tensor payload per job. ``log_dir`` additionally makes
+every worker stream its edge log to ``log_dir/<variant>`` shards.
+
 :func:`iter_sweep` is the synchronous bridge for non-async callers (the
 CLI's ``repro sweep --stream``): a plain generator that owns a private
 event loop and yields results as they complete.
@@ -30,15 +37,19 @@ event loop and yields results as they complete.
 from __future__ import annotations
 
 import asyncio
+import shutil
+import tempfile
 from collections import deque
 from collections.abc import AsyncIterator, Callable, Iterator
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.util.errors import ValidationError
 from repro.validate.execution import (
     _run_variant_args,
     build_reference_log,
     check_executor,
+    check_log_dir_name,
     make_pool,
 )
 from repro.validate.reporting import (
@@ -103,6 +114,7 @@ async def stream_sweep(
     policy: SweepPolicy | None = None,
     on_dispatch: Callable[[SweepVariant], None] | None = None,
     backends: list[str] | str | None = None,
+    log_dir: str | Path | None = None,
 ) -> AsyncIterator[VariantResult]:
     """Yield one :class:`VariantResult` per variant, as each completes.
 
@@ -118,7 +130,13 @@ async def stream_sweep(
 
     The zoo prewarm and shared reference-pipeline run happen synchronously
     before the first dispatch; the stream starts once workers can reuse
-    both.
+    both. The reference run streams into a
+    :class:`~repro.instrument.sinks.DirectorySink` directory and jobs
+    carry its *path* (workers read it lazily) instead of a pickled
+    in-memory log — under ``log_dir`` that directory is
+    ``log_dir/reference`` and each variant's edge log streams to
+    ``log_dir/<variant name>``; otherwise the reference lands in a
+    temporary directory cleaned up when the stream finishes.
     """
     variants = plan_variants(variants)
     if backends is not None:
@@ -131,10 +149,24 @@ async def stream_sweep(
 
     # Warm the shared on-disk weight cache in the parent so pool workers
     # load trained parameters instead of each retraining the model, and run
-    # the (variant-independent) reference pipeline exactly once.
+    # the (variant-independent) reference pipeline exactly once, streamed
+    # to disk so jobs share it by path.
     from repro.zoo import get_trained
     get_trained(model)
-    ref_log = build_reference_log(model, frames, tag)
+    log_root = Path(log_dir) if log_dir is not None else None
+    if log_root is not None:
+        # Fail in the parent, before any dispatch: a variant named
+        # "reference" (or with path separators) would collide with the
+        # shared reference stream directory mid-sweep.
+        for variant in variants:
+            check_log_dir_name(variant.name)
+        ref_root = log_root / "reference"
+        ref_is_temp = False
+    else:
+        ref_root = Path(tempfile.mkdtemp(prefix="exray-ref-"))
+        ref_is_temp = True
+    build_reference_log(model, frames, tag, log_root=ref_root)
+    ref_path = str(ref_root)
 
     loop = asyncio.get_running_loop()
     deadline = (loop.time() + policy.deadline_s
@@ -143,8 +175,9 @@ async def stream_sweep(
 
     def job_args(variant: SweepVariant) -> tuple:
         # A plain args tuple + the top-level worker keeps jobs picklable
-        # for process pools.
-        return (model, variant, frames, always_assert, tag, ref_log)
+        # for process pools; the reference log rides along as a path.
+        return (model, variant, frames, always_assert, tag, ref_path,
+                str(log_root) if log_root is not None else None)
 
     def dispatch_allowed() -> bool:
         if policy.max_failures is not None and failures >= policy.max_failures:
@@ -153,71 +186,75 @@ async def stream_sweep(
 
     queue = deque(order)
 
-    if executor == "serial" or len(order) == 1:
-        # In-loop sequential execution: deterministic ground truth, still
-        # streamed — each result is yielded (and the consumer runs) before
-        # the next variant is dispatched.
-        while queue:
-            if not dispatch_allowed():
-                break
-            variant = queue.popleft()
-            if on_dispatch is not None:
-                on_dispatch(variant)
-            result = _run_variant_args(job_args(variant))
-            if not result.healthy:
-                failures += 1
-            yield result
-        tail_status = (STATUS_CANCELLED
-                       if deadline is not None and loop.time() >= deadline
-                       else STATUS_SKIPPED)
-        while queue:
-            yield _unrun(queue.popleft(), tail_status)
-        return
-
-    pool, max_workers = make_pool(executor, len(order), workers)
-    inflight: dict[asyncio.Future, SweepVariant] = {}
     try:
-        while queue or inflight:
-            while queue and len(inflight) < max_workers \
-                    and dispatch_allowed():
+        if executor == "serial" or len(order) == 1:
+            # In-loop sequential execution: deterministic ground truth,
+            # still streamed — each result is yielded (and the consumer
+            # runs) before the next variant is dispatched.
+            while queue:
+                if not dispatch_allowed():
+                    break
                 variant = queue.popleft()
                 if on_dispatch is not None:
                     on_dispatch(variant)
-                fut = loop.run_in_executor(
-                    pool, _run_variant_args, job_args(variant))
-                inflight[fut] = variant
-            if not inflight:
-                break  # policy tripped with nothing running: drain the tail
-            timeout = None if deadline is None else max(0.0, deadline - loop.time())
-            done, _ = await asyncio.wait(
-                set(inflight), timeout=timeout,
-                return_when=asyncio.FIRST_COMPLETED)
-            if not done:
-                # Deadline expired mid-flight: cancel stragglers (pending
-                # pool jobs are revoked; already-running ones are abandoned)
-                # and report them as cancelled.
-                for fut, variant in inflight.items():
-                    fut.cancel()
-                    fut.add_done_callback(_swallow_result)
-                    yield _unrun(variant, STATUS_CANCELLED)
-                inflight.clear()
-                break
-            for fut in done:
-                variant = inflight.pop(fut)
-                result = fut.result()
+                result = _run_variant_args(job_args(variant))
                 if not result.healthy:
                     failures += 1
                 yield result
-        tail_status = (STATUS_CANCELLED
-                       if deadline is not None and loop.time() >= deadline
-                       else STATUS_SKIPPED)
-        while queue:
-            yield _unrun(queue.popleft(), tail_status)
+            tail_status = (STATUS_CANCELLED
+                           if deadline is not None and loop.time() >= deadline
+                           else STATUS_SKIPPED)
+            while queue:
+                yield _unrun(queue.popleft(), tail_status)
+            return
+
+        pool, max_workers = make_pool(executor, len(order), workers)
+        inflight: dict[asyncio.Future, SweepVariant] = {}
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < max_workers \
+                        and dispatch_allowed():
+                    variant = queue.popleft()
+                    if on_dispatch is not None:
+                        on_dispatch(variant)
+                    fut = loop.run_in_executor(
+                        pool, _run_variant_args, job_args(variant))
+                    inflight[fut] = variant
+                if not inflight:
+                    break  # policy tripped with nothing running: drain the tail
+                timeout = None if deadline is None else max(0.0, deadline - loop.time())
+                done, _ = await asyncio.wait(
+                    set(inflight), timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED)
+                if not done:
+                    # Deadline expired mid-flight: cancel stragglers (pending
+                    # pool jobs are revoked; already-running ones are abandoned)
+                    # and report them as cancelled.
+                    for fut, variant in inflight.items():
+                        fut.cancel()
+                        fut.add_done_callback(_swallow_result)
+                        yield _unrun(variant, STATUS_CANCELLED)
+                    inflight.clear()
+                    break
+                for fut in done:
+                    variant = inflight.pop(fut)
+                    result = fut.result()
+                    if not result.healthy:
+                        failures += 1
+                    yield result
+            tail_status = (STATUS_CANCELLED
+                           if deadline is not None and loop.time() >= deadline
+                           else STATUS_SKIPPED)
+            while queue:
+                yield _unrun(queue.popleft(), tail_status)
+        finally:
+            for fut in inflight:  # e.g. the consumer closed the generator early
+                fut.cancel()
+                fut.add_done_callback(_swallow_result)
+            pool.shutdown(wait=False, cancel_futures=True)
     finally:
-        for fut in inflight:  # e.g. the consumer closed the generator early
-            fut.cancel()
-            fut.add_done_callback(_swallow_result)
-        pool.shutdown(wait=False, cancel_futures=True)
+        if ref_is_temp:
+            shutil.rmtree(ref_root, ignore_errors=True)
 
 
 def _swallow_result(fut: asyncio.Future) -> None:

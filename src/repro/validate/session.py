@@ -108,7 +108,11 @@ class DebugSession:
     Parameters
     ----------
     edge_log / ref_log:
-        Instrumented runs over the same played-back data.
+        Instrumented runs over the same played-back data. Either may be an
+        eager in-memory log or a lazy directory-backed one
+        (:meth:`EXrayLog.load`): every stage consumes the logs through
+        the streaming/random-access reader APIs, so validating a streamed
+        trace never materializes all of its per-layer tensors at once.
     task:
         Selects the built-in assertion suite and default accuracy metric.
     accuracy_metric:

@@ -79,6 +79,7 @@ def run_sweep(
     deadline_s: float | None = None,
     on_result=None,
     backends: list[str] | str | None = None,
+    log_dir=None,
 ) -> SweepReport:
     """Validate many deployment variants of one model and block for all.
 
@@ -114,6 +115,13 @@ def run_sweep(
         string, or ``"all"``): the lineup is fanned across these kernel
         backends before scheduling, one clone per (variant, backend) named
         ``variant@backend`` — the ``repro sweep --backends`` axis.
+    log_dir:
+        Stream every log to this directory as the sweep runs: the shared
+        reference run lands in ``log_dir/reference`` and each variant's
+        edge log in ``log_dir/<variant name>`` (DirectorySink shards,
+        inspectable mid-sweep with ``repro log show``). Without it the
+        reference still streams through a temporary directory — jobs
+        always share the reference by path, never by pickled tensors.
     """
     # The scheduler owns validation (plan_variants); here the lineup is
     # only needed for its length and report order, so the backend axis is
@@ -127,7 +135,7 @@ def run_sweep(
     for result in iter_sweep(
             model, variants, frames=frames, executor=executor,
             workers=workers, always_assert=always_assert, tag=tag,
-            policy=policy):
+            policy=policy, log_dir=log_dir):
         results.append(result)
         if on_result is not None:
             on_result(result, len(results), len(variants))

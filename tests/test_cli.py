@@ -166,3 +166,52 @@ class TestProfile:
             return float(line.split()[1])
 
         assert total(slow) > 20 * total(fast)
+
+
+class TestLogDirAndLogShow:
+    def test_sweep_log_dir_streams_loadable_logs(self, tmp_path):
+        log_dir = tmp_path / "logs"
+        code, text = run_cli(
+            "sweep", "micro_mobilenet_v1", "--frames", "8",
+            "--executor", "serial", "--variant", "clean",
+            "--variant", "bgr:channel_order=bgr",
+            "--log-dir", str(log_dir))
+        assert f"EXray logs streamed to {log_dir}" in text
+        from repro.instrument import EXrayLog
+        for name in ("reference", "clean", "bgr"):
+            log = EXrayLog.load(log_dir / name)
+            assert len(log) == 8 and log.version == 2
+
+    def test_validate_log_dir(self, tmp_path):
+        log_dir = tmp_path / "edge-log"
+        code, text = run_cli("validate", "micro_mobilenet_v1",
+                             "--frames", "8", "--log-dir", str(log_dir))
+        assert code == 0 and f"streamed to {log_dir}" in text
+        from repro.instrument import EXrayLog
+        assert len(EXrayLog.load(log_dir)) == 8
+
+    def test_log_show_summarizes_directory(self, tmp_path):
+        log_dir = tmp_path / "edge-log"
+        run_cli("validate", "micro_mobilenet_v1", "--frames", "6",
+                "--log-dir", str(log_dir))
+        code, text = run_cli("log", "show", str(log_dir), "--frames", "2")
+        assert code == 0
+        assert "format version     v2" in text
+        assert "6 inference" in text
+        assert "mean latency" in text
+        # the per-frame table printed the first two rows
+        assert text.count("inference\n") >= 2 or "| inference" in text
+
+    def test_log_show_missing_dir_exits_cleanly(self, tmp_path, capsys):
+        code, _ = run_cli("log", "show", str(tmp_path / "nope"))
+        assert code == 2
+        assert "no EXray log" in capsys.readouterr().err
+
+    def test_variant_named_reference_rejected_with_log_dir(self, tmp_path,
+                                                           capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--frames", "4",
+                          "--executor", "serial",
+                          "--variant", "reference:stage=quantized",
+                          "--log-dir", str(tmp_path / "logs"))
+        assert code == 2
+        assert "reserved" in capsys.readouterr().err
