@@ -9,6 +9,10 @@ its operational surface::
     python -m repro sweep micro_mobilenet_v2 --variant clean \
         --variant bgr:channel_order=bgr --variant q:stage=quantized
     python -m repro sweep micro_mobilenet_v2 --log-dir /tmp/sweep-logs
+    python -m repro sweep micro_mobilenet_v2 --shards 3 --out-dir /tmp/fleet
+    python -m repro sweep-worker run /tmp/fleet/shard-001/manifest.json \
+        --out /tmp/fleet/shard-001
+    python -m repro sweep merge /tmp/fleet/shard-000 /tmp/fleet/shard-001
     python -m repro log show /tmp/sweep-logs/clean
     python -m repro profile micro_mobilenet_v2 --stage quantized \
         --resolver reference --device pixel4_cpu
@@ -18,28 +22,39 @@ optional injected bugs) vs the model's reference pipeline over played-back
 data, then prints the validation report. ``sweep`` fans many deployment
 variants of one model across a worker pool and aggregates their validation
 reports; ``--log-dir`` streams every run's EXray log to disk as it
-happens (DirectorySink shards). ``log show`` inspects any streamed or
-saved log directory without materializing its tensors. ``profile`` prints
-the per-layer latency profile and straggler analysis on a simulated
-device.
+happens (DirectorySink shards). ``--shards N`` partitions the lineup into
+portable shard manifests, executes each as an isolated shard artifact,
+and merges — with ``--plan-only`` it stops after writing the manifests so
+a fleet of ``sweep-worker`` processes (any machine) can execute them, and
+``sweep merge <dir>...`` folds the resulting artifacts back into one
+fleet report. ``log show`` inspects any streamed or saved log directory
+without materializing its tensors. ``profile`` prints the per-layer
+latency profile and straggler analysis on a simulated device.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
+from pathlib import Path
 
 from repro.graph import save_model
-from repro.instrument import DirectorySink, EXrayLog, MLEXray
+from repro.instrument import DirectorySink, EXrayLog, MLEXray, log_digest
 from repro.perfmodel import DEVICES
 from repro.pipelines import EdgeApp, build_reference_app, make_preprocess
 from repro.runtime.resolver import KERNEL_BUG_PRESETS, RESOLVERS, make_resolver
 from repro.util.errors import ReproError, ValidationError
 from repro.util.tabulate import format_table
 from repro.validate import DebugSession, find_stragglers, layer_latency_profile
+from repro.validate.execution import EXECUTORS, build_reference_log
+from repro.validate.merge import merge_shards
+from repro.validate.shard import MANIFEST_NAME, plan_shards, run_shard, write_shards
 from repro.validate.sweep import (
     DEFAULT_IMAGE_VARIANTS,
     coerce_override_value,
+    expand_backends,
     parse_variant_spec,
     run_sweep,
 )
@@ -117,7 +132,19 @@ def cmd_validate(args, out) -> int:
     return 0 if report.healthy else 1
 
 
+def _write_report_json(report, path, out) -> None:
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(report.to_doc(), indent=2))
+    print(f"sweep report JSON written to {path}", file=out)
+
+
 def cmd_sweep(args, out) -> int:
+    if args.model == "merge":
+        return _sweep_merge(args, out)
+    if args.shard_dirs:
+        raise ValidationError(
+            "positional shard directories are only valid with "
+            "'repro sweep merge <dir>...'")
     if args.variant:
         variants = [parse_variant_spec(spec) for spec in args.variant]
     else:
@@ -127,6 +154,16 @@ def cmd_sweep(args, out) -> int:
                 f"no default variants for task {entry.task!r}; pass --variant "
                 "NAME[:key=value,...] explicitly")
         variants = list(DEFAULT_IMAGE_VARIANTS)
+    if args.shards is not None:
+        return _sweep_sharded(args, variants, out)
+    if args.plan_only or args.out_dir:
+        raise ValidationError(
+            "--plan-only/--out-dir need --shards N (they describe the "
+            "sharded-sweep layout)")
+    if args.strict:
+        raise ValidationError(
+            "--strict only applies when merging shard artifacts "
+            "('repro sweep merge' or --shards)")
 
     def progress(result, n_done, n_total):
         # Streamed mode: print each variant's verdict the moment it
@@ -149,6 +186,120 @@ def cmd_sweep(args, out) -> int:
         print(f"EXray logs streamed to {args.log_dir} "
               f"(inspect with: repro log show {args.log_dir}/<variant>)",
               file=out)
+    if args.report_json:
+        _write_report_json(report, args.report_json, out)
+    return 0 if report.healthy else 1
+
+
+def _sweep_sharded(args, variants, out) -> int:
+    # Fleet mode: partition the lineup into shard manifests, execute each
+    # shard as an isolated portable artifact (exactly what a remote
+    # `repro sweep-worker run` would produce), then merge — or, with
+    # --plan-only, stop after planning so real workers take over.
+    if args.max_failures is not None or args.deadline_s is not None:
+        raise ValidationError(
+            "--max-failures/--deadline-s are per-process scheduling "
+            "policies and do not distribute; run them per worker instead")
+    if args.log_dir is not None:
+        raise ValidationError(
+            "--log-dir does not combine with --shards: every shard "
+            "artifact already streams its edge logs under "
+            "<out-dir>/<shard>/logs/<variant>")
+    if args.shards < 1:
+        # Fail before the (expensive) reference build dirties out-dir.
+        raise ValidationError(f"--shards must be >= 1, got {args.shards}")
+    if args.plan_only and args.report_json:
+        raise ValidationError(
+            "--report-json has nothing to write under --plan-only (no "
+            "sweep runs); pass it to 'repro sweep merge' instead")
+    if args.backends is not None:
+        # Expand the backend axis before partitioning so name@backend
+        # clones can land on different shards.
+        variants = expand_backends(variants, args.backends)
+    out_dir = Path(args.out_dir) if args.out_dir else \
+        Path(tempfile.mkdtemp(prefix="exray-fleet-"))
+    ref_root = out_dir / "reference"
+    build_reference_log(args.model, args.frames, "sweep", log_root=ref_root)
+    manifests = plan_shards(
+        args.model, variants, n_shards=args.shards, frames=args.frames,
+        always_assert=args.always_assert, reference="../reference",
+        reference_digest=log_digest(ref_root))
+    shard_dirs = write_shards(manifests, out_dir)
+    rows = [(m.shard_id, len(m.variants),
+             " ".join(v.name for v in m.variants)) for m in manifests]
+    print(format_table(("shard", "variants", "lineup slice"), rows,
+                       title=f"sharded sweep plan: {len(manifests)} shard(s) "
+                             f"under {out_dir}"), file=out)
+    if args.plan_only:
+        print("run each shard with:", file=out)
+        for shard_dir in shard_dirs:
+            print(f"  repro sweep-worker run {shard_dir / MANIFEST_NAME} "
+                  f"--out {shard_dir}", file=out)
+        print(f"then merge: repro sweep merge {out_dir}/shard-*", file=out)
+        return 0
+
+    for shard_dir, manifest in zip(shard_dirs, manifests):
+        def progress(result, n_done, n_total, shard_id=manifest.shard_id):
+            print(f"[{shard_id} {n_done}/{n_total}] {result.variant.name}: "
+                  f"{result.verdict()}", file=out, flush=True)
+
+        # verify_reference=False: this process built and hashed the
+        # reference moments ago; re-hashing it per shard buys nothing.
+        run_shard(shard_dir / MANIFEST_NAME, shard_dir,
+                  executor=args.executor, workers=args.workers,
+                  on_result=progress if args.stream else None,
+                  verify_reference=False)
+    # verify=False: this process wrote every artifact moments ago;
+    # re-hashing them buys nothing on the local path. --strict still
+    # upgrades structural problems (a worker crash mid-artifact) to errors.
+    report = merge_shards(shard_dirs, triage=args.triage,
+                          strict=args.strict, verify=False)
+    print(report.render(verbose=args.verbose), file=out)
+    print(f"shard artifacts under {out_dir} "
+          f"(re-merge with: repro sweep merge {out_dir}/shard-*)", file=out)
+    if args.report_json:
+        _write_report_json(report, args.report_json, out)
+    return 0 if report.healthy else 1
+
+
+def _sweep_merge(args, out) -> int:
+    if not args.shard_dirs:
+        raise ValidationError(
+            "repro sweep merge needs at least one shard artifact directory")
+    # Sweep-execution flags have no meaning when folding existing
+    # artifacts; reject them loudly rather than silently ignoring them.
+    ignored = {"--variant": args.variant, "--backends": args.backends,
+               "--shards": args.shards, "--out-dir": args.out_dir,
+               "--plan-only": args.plan_only, "--log-dir": args.log_dir,
+               "--max-failures": args.max_failures,
+               "--deadline-s": args.deadline_s, "--stream": args.stream,
+               "--workers": args.workers,
+               "--always-assert": args.always_assert}
+    passed = [flag for flag, value in ignored.items() if value]
+    if passed:
+        raise ValidationError(
+            f"'repro sweep merge' reads existing shard artifacts and does "
+            f"not accept {', '.join(passed)}")
+    report = merge_shards(args.shard_dirs, triage=args.triage,
+                          strict=args.strict)
+    print(report.render(verbose=args.verbose), file=out)
+    if args.report_json:
+        _write_report_json(report, args.report_json, out)
+    return 0 if report.healthy else 1
+
+
+def cmd_sweep_worker(args, out) -> int:
+    # `repro sweep-worker run <manifest> --out <dir>`: the fleet worker
+    # entrypoint — execute one shard manifest into a portable artifact.
+    def progress(result, n_done, n_total):
+        print(f"[{n_done}/{n_total}] {result.variant.name}: "
+              f"{result.verdict()}", file=out, flush=True)
+
+    report = run_shard(args.manifest, args.out, executor=args.executor,
+                       workers=args.workers,
+                       on_result=progress if args.stream else None)
+    print(report.render(verbose=args.verbose), file=out)
+    print(f"shard artifact written to {args.out}", file=out)
     return 0 if report.healthy else 1
 
 
@@ -258,7 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "sweep", help="validate many deployment variants in parallel")
-    p.add_argument("model")
+    p.add_argument("model",
+                   help="zoo model name, or the literal 'merge' to fold "
+                        "shard artifact directories into one fleet report")
+    p.add_argument("shard_dirs", nargs="*", metavar="SHARD_DIR",
+                   help="with 'merge': shard artifact directories to merge")
     p.add_argument("--frames", type=int, default=16)
     p.add_argument("--variant", action="append", metavar="NAME[:k=v,...]",
                    help="a deployment variant (repeatable): preprocess "
@@ -296,6 +451,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream every run's EXray log under DIR as the "
                         "sweep executes: the shared reference pipeline in "
                         "DIR/reference, each variant in DIR/<variant>")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="fleet mode: partition the lineup into N portable "
+                        "shard manifests, execute each as an isolated shard "
+                        "artifact, and merge the artifacts back into one "
+                        "report")
+    p.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="with --shards: root directory for the shared "
+                        "reference log, shard manifests, and shard "
+                        "artifacts (default: a temporary directory)")
+    p.add_argument("--plan-only", action="store_true",
+                   help="with --shards: write the manifests and shared "
+                        "reference log, print per-shard worker commands, "
+                        "and exit without executing anything")
+    p.add_argument("--report-json", default=None, metavar="FILE",
+                   help="also write the final SweepReport as versioned "
+                        "JSON (round-trips through SweepReport.from_doc)")
+    p.add_argument("--strict", action="store_true",
+                   help="with 'merge': treat missing/corrupt shard "
+                        "artifacts as errors instead of skipped variants")
+
+    p = sub.add_parser(
+        "sweep-worker",
+        help="fleet worker: execute one sweep shard manifest")
+    wsub = p.add_subparsers(dest="worker_command", required=True)
+    pw = wsub.add_parser(
+        "run", help="execute a shard manifest into a portable artifact")
+    pw.add_argument("manifest", help="path to a shard manifest.json")
+    pw.add_argument("--out", required=True, metavar="DIR",
+                    help="artifact directory (report.json, logs/, digests)")
+    pw.add_argument("--executor", default="process", choices=EXECUTORS)
+    pw.add_argument("--workers", type=int, default=None)
+    pw.add_argument("--stream", action="store_true",
+                    help="print each variant's verdict as it completes")
+    pw.add_argument("--verbose", action="store_true",
+                    help="print every variant's full validation report")
 
     p = sub.add_parser("log", help="inspect EXray log directories")
     logsub = p.add_subparsers(dest="log_command", required=True)
@@ -323,6 +513,7 @@ COMMANDS = {
     "train": cmd_train,
     "validate": cmd_validate,
     "sweep": cmd_sweep,
+    "sweep-worker": cmd_sweep_worker,
     "log": cmd_log,
     "profile": cmd_profile,
 }

@@ -16,7 +16,7 @@ from repro.instrument.sinks import (
     StreamStats,
     TeeSink,
 )
-from repro.instrument.store import EXrayLog, save_log
+from repro.instrument.store import EXrayLog, file_digest, log_digest, save_log
 
 __all__ = [
     "DirectorySink",
@@ -30,7 +30,9 @@ __all__ = [
     "StreamStats",
     "TeeSink",
     "TraceSummary",
+    "file_digest",
     "frame_from_doc",
     "frame_to_doc",
+    "log_digest",
     "save_log",
 ]

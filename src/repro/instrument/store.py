@@ -26,6 +26,7 @@ frames).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Iterator
 from pathlib import Path
@@ -40,6 +41,59 @@ from repro.util.errors import ValidationError
 
 def _dir_bytes(root: Path) -> int:
     return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def _hash_file_contents(h, path: Path) -> None:
+    """Stream one file into a hash: a size prefix, then 1 MiB chunks.
+
+    The explicit size prefix makes the multi-file framing unambiguous —
+    without it, moving bytes across a file boundary (or into a path name)
+    could produce the same concatenated stream and thus a colliding
+    digest.
+    """
+    size = path.stat().st_size
+    h.update(str(size).encode())
+    h.update(b"\0")
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+
+
+def file_digest(path: str | Path) -> str:
+    """SHA-256 hex digest of one file (size-prefixed contents).
+
+    Shard artifacts record this for their report documents so a merge can
+    tell a corrupted or half-written artifact from a trustworthy one.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ValidationError(f"cannot digest {path}: not a file")
+    h = hashlib.sha256()
+    _hash_file_contents(h, path)
+    return h.hexdigest()
+
+
+def log_digest(root: str | Path) -> str:
+    """Content digest of a log directory (or any directory tree).
+
+    SHA-256 over every file's root-relative POSIX path and size-prefixed
+    bytes, visited in sorted order — the same tree hashes identically
+    wherever it is copied, and any truncated tensor shard, edited frame
+    document, or missing file changes the digest. Files stream through
+    the hash in chunks (nothing is materialized whole). Sweep-shard
+    artifacts record this per streamed edge log (and shard manifests for
+    the shared reference log) so merges and workers can verify integrity
+    before trusting tensors.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ValidationError(f"cannot digest {root}: not a directory")
+    h = hashlib.sha256()
+    for path in sorted(p for p in root.rglob("*") if p.is_file()):
+        h.update(path.relative_to(root).as_posix().encode())
+        h.update(b"\0")
+        _hash_file_contents(h, path)
+    return h.hexdigest()
 
 
 def _drain_source(sink: LogSink) -> LogSink:

@@ -42,6 +42,25 @@ class AccuracyReport:
             f"delta={self.degradation:+.4f} ({status})"
         )
 
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document (floats round-trip exactly through JSON)."""
+        return {
+            "edge_metric": self.edge_metric,
+            "ref_metric": self.ref_metric,
+            "tolerance": self.tolerance,
+            "metric_name": self.metric_name,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "AccuracyReport":
+        return cls(
+            edge_metric=doc["edge_metric"],
+            ref_metric=doc["ref_metric"],
+            tolerance=doc["tolerance"],
+            metric_name=doc.get("metric_name", "top1"),
+        )
+
 
 def _log_outputs_and_labels(log: EXrayLog) -> tuple[np.ndarray, np.ndarray]:
     outputs = log.stacked("model_output")

@@ -22,10 +22,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.instrument.records import jsonable
 from repro.instrument.store import EXrayLog
 from repro.pipelines.preprocess import NORMALIZATIONS, resize, to_float
 from repro.util.errors import AssertionFailure, ValidationError
 from repro.validate.layerdiff import LayerDiff, locate_discrepancies
+
+
+def jsonable_details(value):
+    """Canonicalize an assertion-evidence value for JSON.
+
+    Assertions attach free-form evidence dicts (error norms, per-rotation
+    MSE tables keyed by ints, numpy scalars); this recursively maps them to
+    JSON-native values — dict keys become strings, numpy scalars/arrays
+    become floats/lists — so a serialized report never depends on what a
+    particular assertion chose to record.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable_details(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable_details(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    return jsonable(value)
 
 
 @dataclass(frozen=True)
@@ -40,6 +59,21 @@ class AssertionResult:
     def render(self) -> str:
         mark = "PASS" if self.passed else "FAIL"
         return f"[{mark}] {self.check}: {self.diagnosis}"
+
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document. Evidence values are canonicalized (see
+        :func:`jsonable_details`), so a round-trip through JSON is the
+        identity on the canonical form, not necessarily on raw evidence."""
+        return {"check": self.check, "passed": self.passed,
+                "diagnosis": self.diagnosis,
+                "details": jsonable_details(self.details)}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "AssertionResult":
+        return cls(check=doc["check"], passed=doc["passed"],
+                   diagnosis=doc["diagnosis"],
+                   details=dict(doc.get("details", {})))
 
 
 class ValidationContext:

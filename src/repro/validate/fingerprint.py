@@ -77,6 +77,35 @@ class DriftFingerprint:
             parts.append("failed: " + ",".join(sorted(self.failed_checks)))
         return "; ".join(parts) or "no drift"
 
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document (sets serialize sorted, tuples as lists)."""
+        return {
+            "variant": self.variant,
+            "schedule": [[layer, op] for layer, op in self.schedule],
+            "drift": list(self.drift),
+            "first_flagged": self.first_flagged,
+            "flagged": list(self.flagged),
+            "failed_checks": sorted(self.failed_checks),
+            "degenerate": sorted(self.degenerate),
+            "accuracy_degraded": self.accuracy_degraded,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "DriftFingerprint":
+        """Rebuild an *equal* fingerprint: tuple/frozenset field types are
+        restored, and JSON float round-tripping is exact."""
+        return cls(
+            variant=doc["variant"],
+            schedule=tuple((layer, op) for layer, op in doc["schedule"]),
+            drift=tuple(float(e) for e in doc["drift"]),
+            first_flagged=doc["first_flagged"],
+            flagged=tuple(doc["flagged"]),
+            failed_checks=frozenset(doc["failed_checks"]),
+            degenerate=frozenset(doc["degenerate"]),
+            accuracy_degraded=doc.get("accuracy_degraded", False),
+        )
+
 
 def fingerprint_report(variant: str, report: ValidationReport) -> DriftFingerprint:
     """Derive a variant's fingerprint from its validation report."""

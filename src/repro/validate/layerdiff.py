@@ -99,6 +99,18 @@ class LayerDiff:
     error: float
     degenerate_ref: bool = False
 
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document; round-trips to an equal (frozen) diff."""
+        return {"index": self.index, "layer": self.layer, "op": self.op,
+                "error": self.error, "degenerate_ref": self.degenerate_ref}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "LayerDiff":
+        return cls(index=doc["index"], layer=doc["layer"], op=doc["op"],
+                   error=doc["error"],
+                   degenerate_ref=doc.get("degenerate_ref", False))
+
 
 def per_layer_diff(
     edge_log: EXrayLog,

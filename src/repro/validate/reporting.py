@@ -26,6 +26,16 @@ STATUS_OK = "ok"
 STATUS_SKIPPED = "skipped"
 STATUS_CANCELLED = "cancelled"
 
+REPORT_SCHEMA_VERSION = 1
+"""Version of the SweepReport/VariantResult JSON wire format.
+
+Bumped whenever a document produced by :meth:`SweepReport.to_doc` would no
+longer round-trip through :meth:`SweepReport.from_doc`; readers reject
+documents from a different version rather than misparse them. This is the
+serialization layer shard artifacts, ``repro sweep merge``, and future
+remote-worker transports build on.
+"""
+
 
 @dataclass
 class VariantResult:
@@ -63,15 +73,46 @@ class VariantResult:
             return self.status.upper()
         return "HEALTHY" if self.healthy else f"{self.num_issues} issue(s)"
 
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document; nested reports serialize recursively."""
+        return {
+            "variant": self.variant.to_doc(),
+            "report": self.report.to_doc() if self.report is not None else None,
+            "mean_latency_ms": self.mean_latency_ms,
+            "peak_memory_mb": self.peak_memory_mb,
+            "status": self.status,
+            "log_dir": self.log_dir,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "VariantResult":
+        report = doc.get("report")
+        return cls(
+            variant=SweepVariant.from_doc(doc["variant"]),
+            report=(ValidationReport.from_doc(report)
+                    if report is not None else None),
+            mean_latency_ms=doc["mean_latency_ms"],
+            peak_memory_mb=doc["peak_memory_mb"],
+            status=doc.get("status", STATUS_OK),
+            log_dir=doc.get("log_dir"),
+        )
+
 
 @dataclass
 class SweepReport:
-    """Aggregate outcome of a deployment sweep."""
+    """Aggregate outcome of a deployment sweep.
+
+    ``notes`` carries merge-time provenance remarks (e.g. which shard
+    artifacts were missing or failed digest verification); in-process
+    sweeps leave it empty, so their rendered reports are unchanged.
+    """
 
     model: str
     frames: int
     results: list[VariantResult]
     triage: "TriageReport | None" = field(default=None, repr=False)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def completed(self) -> list[VariantResult]:
@@ -127,6 +168,48 @@ class SweepReport:
             verdict += " (" + ", ".join(
                 f"{n} {status}" for status, n in sorted(counts.items())) + ")"
         lines.append(f"sweep verdict: {verdict}")
+        for note in self.notes:
+            lines.append(f"merge note: {note}")
         if self.triage is not None:
             lines.append(self.triage.render())
         return "\n".join(lines)
+
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """Versioned JSON document: the sweep wire format.
+
+        This is what shard workers write (``report.json``) and what
+        ``repro sweep merge`` and the ``--report-json`` flag consume/emit;
+        :data:`REPORT_SCHEMA_VERSION` guards compatibility.
+        """
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "model": self.model,
+            "frames": self.frames,
+            "results": [r.to_doc() for r in self.results],
+            "triage": self.triage.to_doc() if self.triage is not None else None,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "SweepReport":
+        from repro.validate.triage import TriageReport
+
+        version = doc.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValidationError(
+                f"sweep-report document has schema version {version!r}; "
+                f"this reader understands version {REPORT_SCHEMA_VERSION}")
+        try:
+            triage = doc.get("triage")
+            return cls(
+                model=doc["model"],
+                frames=doc["frames"],
+                results=[VariantResult.from_doc(r) for r in doc["results"]],
+                triage=(TriageReport.from_doc(triage)
+                        if triage is not None else None),
+                notes=list(doc.get("notes", [])),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"malformed sweep-report document: {exc}") from None

@@ -115,6 +115,7 @@ async def stream_sweep(
     on_dispatch: Callable[[SweepVariant], None] | None = None,
     backends: list[str] | str | None = None,
     log_dir: str | Path | None = None,
+    ref_log_dir: str | Path | None = None,
 ) -> AsyncIterator[VariantResult]:
     """Yield one :class:`VariantResult` per variant, as each completes.
 
@@ -137,6 +138,13 @@ async def stream_sweep(
     ``log_dir/reference`` and each variant's edge log streams to
     ``log_dir/<variant name>``; otherwise the reference lands in a
     temporary directory cleaned up when the stream finishes.
+
+    ``ref_log_dir`` names an *existing* streamed reference-log directory
+    (e.g. the one a sharded sweep's planner built once for the whole
+    fleet); the scheduler then skips the reference-pipeline run entirely
+    and jobs read the shared log from that path. The directory must hold a
+    loadable EXray log for the same (model, frames, tag) playback — shard
+    workers verify this by content digest before trusting it.
     """
     variants = plan_variants(variants)
     if backends is not None:
@@ -160,12 +168,23 @@ async def stream_sweep(
         # shared reference stream directory mid-sweep.
         for variant in variants:
             check_log_dir_name(variant.name)
-        ref_root = log_root / "reference"
-        ref_is_temp = False
+    ref_is_temp = False
+    if ref_log_dir is not None:
+        # A precomputed shared reference (fleet mode): never rebuilt, never
+        # cleaned up. Fail before any dispatch if it is not a log directory.
+        ref_root = Path(ref_log_dir)
+        if not (ref_root / "meta.json").exists():
+            raise ValidationError(
+                f"ref_log_dir {ref_root} is not an EXray log directory "
+                "(no meta.json); stream the reference there first, e.g. "
+                "with build_reference_log(log_root=...)")
     else:
-        ref_root = Path(tempfile.mkdtemp(prefix="exray-ref-"))
-        ref_is_temp = True
-    build_reference_log(model, frames, tag, log_root=ref_root)
+        if log_root is not None:
+            ref_root = log_root / "reference"
+        else:
+            ref_root = Path(tempfile.mkdtemp(prefix="exray-ref-"))
+            ref_is_temp = True
+        build_reference_log(model, frames, tag, log_root=ref_root)
     ref_path = str(ref_root)
 
     loop = asyncio.get_running_loop()

@@ -79,6 +79,43 @@ class ValidationReport:
         """Names of the failed assertions — the fingerprint's symptom set."""
         return frozenset(a.check for a in self.issues)
 
+    # ---------------------------------------------------------- wire format
+    def to_doc(self) -> dict:
+        """JSON-native document for shard artifacts and merged reports.
+
+        ``flagged`` stores positions into ``layer_diffs`` (not schedule
+        indices), so :meth:`from_doc` rebuilds ``flagged_layers`` as views
+        of the same :class:`LayerDiff` list — drift vectors, schedules, and
+        fingerprints derived from a round-tripped report are identical to
+        the original's.
+        """
+        return {
+            "accuracy": (self.accuracy.to_doc()
+                         if self.accuracy is not None else None),
+            "layer_diffs": [d.to_doc() for d in self.layer_diffs],
+            "flagged": [self.layer_diffs.index(d) for d in self.flagged_layers],
+            "assertions": [a.to_doc() for a in self.assertions],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ValidationReport":
+        accuracy = doc.get("accuracy")
+        diffs = [LayerDiff.from_doc(d) for d in doc.get("layer_diffs", [])]
+        positions = doc.get("flagged", [])
+        if any(not 0 <= i < len(diffs) for i in positions):
+            raise ValidationError(
+                "malformed validation-report document: 'flagged' names a "
+                "layer-diff position that does not exist")
+        flagged = [diffs[i] for i in positions]
+        return cls(
+            accuracy=(AccuracyReport.from_doc(accuracy)
+                      if accuracy is not None else None),
+            layer_diffs=diffs,
+            flagged_layers=flagged,
+            assertions=[AssertionResult.from_doc(a)
+                        for a in doc.get("assertions", [])],
+        )
+
     def render(self) -> str:
         lines = ["=== ML-EXray deployment validation report ==="]
         if self.accuracy is not None:

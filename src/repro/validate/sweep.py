@@ -19,7 +19,12 @@ decomposed by concern:
 * :mod:`repro.validate.reporting` — per-variant results and the aggregate
   :class:`SweepReport`;
 * :mod:`repro.validate.triage` — cross-variant root-cause clustering over
-  layer-drift fingerprints.
+  layer-drift fingerprints;
+* :mod:`repro.validate.shard` / :mod:`repro.validate.merge` — fleet-scale
+  distribution: portable shard manifests, the shard worker
+  (:func:`~repro.validate.shard.run_shard`), and the deterministic merge
+  (:func:`~repro.validate.merge.merge_shards`) that folds shard artifacts
+  back into one report.
 
 :func:`run_sweep` is now a thin synchronous wrapper that drains the
 streaming scheduler and re-sorts the results into lineup order; since all
@@ -36,8 +41,15 @@ from repro.validate.execution import (
     build_reference_log,
     run_variant,
 )
+from repro.validate.merge import merge_shards
 from repro.validate.reporting import SweepReport, VariantResult
 from repro.validate.scheduler import SweepPolicy, iter_sweep
+from repro.validate.shard import (
+    ShardManifest,
+    plan_shards,
+    run_shard,
+    write_shards,
+)
 from repro.validate.variants import (
     DEFAULT_IMAGE_VARIANTS,
     STAGES,
@@ -53,6 +65,7 @@ __all__ = [
     "EXECUTORS",
     "KERNEL_BUG_PRESETS",
     "STAGES",
+    "ShardManifest",
     "SweepReport",
     "SweepVariant",
     "VariantResult",
@@ -60,10 +73,14 @@ __all__ = [
     "coerce_override_value",
     "expand_backends",
     "make_resolver",
+    "merge_shards",
     "parse_backends",
     "parse_variant_spec",
+    "plan_shards",
+    "run_shard",
     "run_sweep",
     "run_variant",
+    "write_shards",
 ]
 
 
@@ -80,6 +97,7 @@ def run_sweep(
     on_result=None,
     backends: list[str] | str | None = None,
     log_dir=None,
+    ref_log_dir=None,
 ) -> SweepReport:
     """Validate many deployment variants of one model and block for all.
 
@@ -122,6 +140,11 @@ def run_sweep(
         inspectable mid-sweep with ``repro log show``). Without it the
         reference still streams through a temporary directory — jobs
         always share the reference by path, never by pickled tensors.
+    ref_log_dir:
+        Path of an existing streamed reference log to share instead of
+        running the reference pipeline (the fleet-mode seam sharded sweeps
+        use: the planner builds the reference once, every shard worker
+        reuses it by path).
     """
     # The scheduler owns validation (plan_variants); here the lineup is
     # only needed for its length and report order, so the backend axis is
@@ -135,7 +158,7 @@ def run_sweep(
     for result in iter_sweep(
             model, variants, frames=frames, executor=executor,
             workers=workers, always_assert=always_assert, tag=tag,
-            policy=policy, log_dir=log_dir):
+            policy=policy, log_dir=log_dir, ref_log_dir=ref_log_dir):
         results.append(result)
         if on_result is not None:
             on_result(result, len(results), len(variants))

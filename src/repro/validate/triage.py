@@ -127,6 +127,17 @@ class TriageCluster:
     def variant_names(self) -> list[str]:
         return [m.variant for m in self.members]
 
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        return {"cause": self.cause, "detail": self.detail,
+                "members": [m.to_doc() for m in self.members]}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TriageCluster":
+        return cls(cause=doc["cause"], detail=doc["detail"],
+                   members=[DriftFingerprint.from_doc(m)
+                            for m in doc["members"]])
+
 
 @dataclass
 class TriageReport:
@@ -153,6 +164,17 @@ class TriageReport:
             lines.append("not fingerprinted (no report): "
                          + ", ".join(self.unfingerprinted))
         return "\n".join(lines)
+
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        return {"clusters": [c.to_doc() for c in self.clusters],
+                "unfingerprinted": list(self.unfingerprinted)}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TriageReport":
+        return cls(clusters=[TriageCluster.from_doc(c)
+                             for c in doc.get("clusters", [])],
+                   unfingerprinted=list(doc.get("unfingerprinted", [])))
 
 
 def triage_fingerprints(

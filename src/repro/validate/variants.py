@@ -74,6 +74,45 @@ class SweepVariant:
         parts += [f"{k}={v}" for k, v in sorted(self.overrides.items())]
         return ", ".join(parts)
 
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document for shard manifests and sweep reports.
+
+        Overrides are already JSON-native (strings, ints, and size-pair
+        lists — everything :func:`coerce_override_value` produces), so the
+        document round-trips through :meth:`from_doc` to an equal variant.
+        """
+        return {
+            "name": self.name,
+            "overrides": dict(self.overrides),
+            "stage": self.stage,
+            "resolver": self.resolver,
+            "kernel_bugs": self.kernel_bugs,
+            "device": self.device,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "SweepVariant":
+        """Rebuild a variant from :meth:`to_doc` output.
+
+        Field values are *not* validated against the live registries here —
+        a merged fleet report may name resolvers or devices registered only
+        on the worker that ran them; :meth:`check` still runs before any
+        local execution.
+        """
+        try:
+            return cls(
+                name=doc["name"],
+                overrides=dict(doc.get("overrides", {})),
+                stage=doc.get("stage", "mobile"),
+                resolver=doc.get("resolver", "optimized"),
+                kernel_bugs=doc.get("kernel_bugs", "none"),
+                device=doc.get("device", "pixel4_cpu"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"malformed variant document {doc!r}: {exc}") from None
+
 
 def coerce_override_value(key: str, value):
     """Coerce a CLI override string into the type the recipe expects.

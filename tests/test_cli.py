@@ -147,6 +147,102 @@ class TestSweep:
         assert "max_failures" in capsys.readouterr().err
 
 
+class TestShardedSweep:
+    ARGS = ("--frames", "6", "--variant", "clean",
+            "--variant", "rot:rotation_k=1")
+
+    def test_shards_match_single_process_sweep(self, tmp_path):
+        code_s, single = run_cli("sweep", "micro_mobilenet_v1", *self.ARGS,
+                                 "--executor", "serial", "--triage")
+        code_f, fleet = run_cli(
+            "sweep", "micro_mobilenet_v1", *self.ARGS, "--executor", "serial",
+            "--triage", "--shards", "2", "--out-dir", str(tmp_path))
+        assert code_s == code_f == 1
+        # Identical report body; fleet mode adds the plan table up front
+        # and the artifact hint at the end.
+        assert single.rstrip("\n") in fleet
+        assert "sharded sweep plan: 2 shard(s)" in fleet
+
+    def test_plan_only_then_worker_then_merge(self, tmp_path):
+        code, text = run_cli(
+            "sweep", "micro_mobilenet_v1", *self.ARGS,
+            "--shards", "2", "--out-dir", str(tmp_path), "--plan-only")
+        assert code == 0
+        assert "sweep-worker run" in text
+        assert (tmp_path / "reference" / "meta.json").exists()
+        for shard in ("shard-000", "shard-001"):
+            code, _ = run_cli(
+                "sweep-worker", "run",
+                str(tmp_path / shard / "manifest.json"),
+                "--out", str(tmp_path / shard), "--executor", "serial")
+            assert (tmp_path / shard / "report.json").exists()
+        merged_json = tmp_path / "merged.json"
+        code, text = run_cli(
+            "sweep", "merge", str(tmp_path / "shard-000"),
+            str(tmp_path / "shard-001"), "--report-json", str(merged_json))
+        assert code == 1  # rot is unhealthy fleet-wide
+        assert "1 of 2 variant(s) unhealthy" in text
+        import json
+        doc = json.loads(merged_json.read_text())
+        assert [r["variant"]["name"] for r in doc["results"]] == \
+            ["clean", "rot"]
+
+    def test_merge_of_incomplete_fleet_mentions_skips(self, tmp_path):
+        run_cli("sweep", "micro_mobilenet_v1", *self.ARGS,
+                "--shards", "2", "--out-dir", str(tmp_path), "--plan-only")
+        run_cli("sweep-worker", "run",
+                str(tmp_path / "shard-000" / "manifest.json"),
+                "--out", str(tmp_path / "shard-000"), "--executor", "serial")
+        code, text = run_cli("sweep", "merge", str(tmp_path / "shard-000"),
+                             str(tmp_path / "shard-001"))
+        assert code == 1
+        assert "SKIPPED" in text and "merge note:" in text
+
+    def test_positional_dirs_without_merge_rejected(self, tmp_path, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", str(tmp_path))
+        assert code == 2
+        assert "merge" in capsys.readouterr().err
+
+    def test_plan_only_without_shards_rejected(self, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--plan-only")
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_log_dir_with_shards_rejected(self, tmp_path, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--shards", "2",
+                          "--log-dir", str(tmp_path / "logs"))
+        assert code == 2
+        assert "--log-dir" in capsys.readouterr().err
+
+    def test_merge_rejects_sweep_execution_flags(self, tmp_path, capsys):
+        code, _ = run_cli("sweep", "merge", str(tmp_path), "--stream",
+                          "--variant", "clean")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--stream" in err and "--variant" in err
+
+    def test_strict_without_merge_context_rejected(self, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--strict")
+        assert code == 2
+        assert "--strict" in capsys.readouterr().err
+
+    def test_report_json_with_plan_only_rejected(self, tmp_path, capsys):
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--shards", "2",
+                          "--out-dir", str(tmp_path), "--plan-only",
+                          "--report-json", str(tmp_path / "r.json"))
+        assert code == 2
+        assert "--report-json" in capsys.readouterr().err
+
+    def test_nonpositive_shards_rejected_before_any_work(self, tmp_path,
+                                                         capsys):
+        out_dir = tmp_path / "fleet"
+        code, _ = run_cli("sweep", "micro_mobilenet_v1", "--shards", "0",
+                          "--out-dir", str(out_dir))
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+        assert not out_dir.exists()  # failed before dirtying out-dir
+
+
 class TestProfile:
     def test_prints_profile_and_total(self):
         code, text = run_cli("profile", "micro_mobilenet_v2",

@@ -1,0 +1,184 @@
+"""Round-trip tests for the versioned sweep-report serialization layer.
+
+Every document is pushed through ``json.dumps``/``json.loads`` — the wire —
+before rebuilding, so these tests pin the actual cross-machine behavior
+(exact float round-tripping included), not just dict plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.validate.accuracy import AccuracyReport
+from repro.validate.assertions import AssertionResult, jsonable_details
+from repro.validate.fingerprint import DriftFingerprint, fingerprint_report
+from repro.validate.layerdiff import LayerDiff
+from repro.validate.reporting import (
+    REPORT_SCHEMA_VERSION,
+    SweepReport,
+    VariantResult,
+)
+from repro.validate.session import ValidationReport
+from repro.validate.sweep import run_sweep
+from repro.validate.triage import TriageReport, triage_sweep
+from repro.validate.variants import SweepVariant
+
+MODEL = "micro_mobilenet_v1"
+
+
+def wire(doc):
+    """Push a document through actual JSON bytes."""
+    return json.loads(json.dumps(doc))
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    report = run_sweep(
+        MODEL,
+        [SweepVariant("clean"),
+         SweepVariant("rot90", {"rotation_k": 1})],
+        frames=8, executor="serial")
+    report.triage = triage_sweep(report)
+    return report
+
+
+class TestVariantRoundTrip:
+    @pytest.mark.parametrize("variant", [
+        SweepVariant("clean"),
+        SweepVariant("bgr", {"channel_order": "bgr"}),
+        SweepVariant("sized", {"target_size": [16, 16], "rotation_k": 2}),
+        SweepVariant("norm", {"normalization": "[0,1]"}),
+        SweepVariant("buggy", kernel_bugs="paper-optimized",
+                     stage="quantized", resolver="reference",
+                     device="pixel3_cpu"),
+    ])
+    def test_manifest_json_round_trip_is_identity(self, variant):
+        assert SweepVariant.from_doc(wire(variant.to_doc())) == variant
+
+    def test_malformed_doc_named_error(self):
+        with pytest.raises(ValidationError, match="malformed variant"):
+            SweepVariant.from_doc({"overrides": {}})
+
+
+class TestLeafDocs:
+    def test_accuracy_report_round_trip(self):
+        report = AccuracyReport(edge_metric=0.123456789012345,
+                                ref_metric=0.987654321098765,
+                                tolerance=0.02, metric_name="mAP")
+        assert AccuracyReport.from_doc(wire(report.to_doc())) == report
+
+    def test_layer_diff_round_trip(self):
+        diff = LayerDiff(index=3, layer="dw_bn", op="depthwise_conv2d",
+                         error=0.12345678901234567, degenerate_ref=True)
+        assert LayerDiff.from_doc(wire(diff.to_doc())) == diff
+
+    def test_assertion_result_round_trip(self):
+        result = AssertionResult("orientation", False, "rotated",
+                                 {"fix": "rotate back", "k": 3})
+        assert AssertionResult.from_doc(wire(result.to_doc())) == result
+
+    def test_assertion_details_canonicalized(self):
+        import numpy as np
+
+        details = {"per_rotation_mse": {0: np.float64(0.5), 1: 2},
+                   "arr": np.arange(3), "flag": True, "none": None}
+        canon = jsonable_details(details)
+        assert canon == {"per_rotation_mse": {"0": 0.5, "1": 2},
+                         "arr": [0.0, 1.0, 2.0], "flag": True, "none": None}
+        # The canonical form is a JSON fixpoint.
+        assert wire(canon) == canon
+
+    def test_fingerprint_round_trip(self):
+        fp = DriftFingerprint(
+            variant="rot90",
+            schedule=(("stem", "conv2d"), ("dw", "depthwise_conv2d")),
+            drift=(0.0123456789, 0.9876543210987),
+            first_flagged=1, flagged=(1,),
+            failed_checks=frozenset({"orientation"}),
+            degenerate=frozenset({0}),
+            accuracy_degraded=True)
+        assert DriftFingerprint.from_doc(wire(fp.to_doc())) == fp
+
+
+class TestExecutedReportRoundTrip:
+    def test_variant_results_round_trip(self, sweep_report):
+        for original in sweep_report.results:
+            rebuilt = VariantResult.from_doc(wire(original.to_doc()))
+            assert rebuilt.variant == original.variant
+            assert rebuilt.status == original.status
+            assert rebuilt.mean_latency_ms == original.mean_latency_ms
+            assert rebuilt.peak_memory_mb == original.peak_memory_mb
+            assert rebuilt.report.render() == original.report.render()
+            assert rebuilt.verdict() == original.verdict()
+
+    def test_healthy_result_is_exactly_equal(self, sweep_report):
+        original = sweep_report.result("clean")
+        assert VariantResult.from_doc(wire(original.to_doc())) == original
+
+    def test_result_doc_is_a_json_fixpoint(self, sweep_report):
+        # Evidence dicts may canonicalize (int keys -> strings) on the
+        # first serialization; after that the doc round-trips exactly.
+        doc = wire(sweep_report.result("rot90").to_doc())
+        assert VariantResult.from_doc(doc).to_doc() == doc
+
+    def test_validation_report_drift_views_survive(self, sweep_report):
+        original = sweep_report.result("rot90").report
+        rebuilt = ValidationReport.from_doc(wire(original.to_doc()))
+        assert rebuilt.layer_schedule() == original.layer_schedule()
+        assert list(rebuilt.drift_vector()) == list(original.drift_vector())
+        assert rebuilt.first_flagged_index == original.first_flagged_index
+        assert rebuilt.degenerate_indices == original.degenerate_indices
+        assert rebuilt.failed_checks == original.failed_checks
+        # Rebuilt flagged layers are views of the rebuilt diffs list.
+        for diff in rebuilt.flagged_layers:
+            assert any(d is diff for d in rebuilt.layer_diffs)
+
+    def test_fingerprints_from_rebuilt_reports_are_identical(
+            self, sweep_report):
+        for result in sweep_report.results:
+            rebuilt = ValidationReport.from_doc(wire(result.report.to_doc()))
+            assert fingerprint_report(result.variant.name, rebuilt) == \
+                fingerprint_report(result.variant.name, result.report)
+
+    def test_sweep_report_round_trip_renders_identically(self, sweep_report):
+        doc = wire(sweep_report.to_doc())
+        assert doc["schema_version"] == REPORT_SCHEMA_VERSION
+        rebuilt = SweepReport.from_doc(doc)
+        assert rebuilt.render(verbose=True) == \
+            sweep_report.render(verbose=True)
+        assert rebuilt.healthy == sweep_report.healthy
+
+    def test_triage_report_round_trip(self, sweep_report):
+        rebuilt = TriageReport.from_doc(wire(sweep_report.triage.to_doc()))
+        assert rebuilt.render() == sweep_report.triage.render()
+        assert [c.cause for c in rebuilt.clusters] == \
+            [c.cause for c in sweep_report.triage.clusters]
+
+
+class TestSchemaGuards:
+    def test_unknown_report_version_rejected(self, sweep_report):
+        doc = sweep_report.to_doc()
+        doc["schema_version"] = 99
+        with pytest.raises(ValidationError, match="schema version"):
+            SweepReport.from_doc(doc)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValidationError, match="schema version"):
+            SweepReport.from_doc({"model": "m", "frames": 4, "results": []})
+
+    def test_malformed_report_named_error(self):
+        with pytest.raises(ValidationError, match="malformed sweep-report"):
+            SweepReport.from_doc(
+                {"schema_version": REPORT_SCHEMA_VERSION, "frames": 4})
+
+    @pytest.mark.parametrize("position", [-1, 1, 7])
+    def test_out_of_range_flagged_position_rejected(self, sweep_report,
+                                                    position):
+        # Negative positions must not silently alias the last diff via
+        # Python indexing — a corrupt doc is quarantined, not misread.
+        doc = sweep_report.result("rot90").report.to_doc()
+        doc["layer_diffs"] = doc["layer_diffs"][:1]
+        doc["flagged"] = [position]
+        with pytest.raises(ValidationError, match="flagged"):
+            ValidationReport.from_doc(doc)

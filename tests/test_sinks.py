@@ -167,6 +167,38 @@ class TestRingBufferSink:
         with pytest.raises(ValidationError):
             RingBufferSink(capacity=0)
 
+    def test_no_double_count_on_frame_reentry_after_flush(self):
+        # Regression pin: a frame opened via monitor.frame(...) *after* a
+        # flush() emitted a pending lazy sensor frame must count exactly
+        # once in summary() — the flushed sensor-only frame and the new
+        # inference frame are two distinct emissions, never three.
+        monitor = EdgeMLMonitor("edge", sink=RingBufferSink(capacity=8))
+        monitor.log_sensor("orientation", 90)     # opens a lazy frame
+        flushed = monitor.flush()                 # emits it sensor-only
+        assert flushed is not None and flushed.sensor_only
+        with monitor.frame() as frame:            # re-entry after flush
+            frame.scalars["label"] = 1.0
+        summary = monitor.summary()
+        assert summary["num_frames"] == 2
+        assert summary["sensor_only_frames"] == 1
+        assert [f.step for f in monitor.frames] == [0, 1]
+        # A second flush has nothing pending: no phantom emission.
+        assert monitor.flush() is None
+        assert monitor.summary()["num_frames"] == 2
+
+    def test_adopted_lazy_frame_counts_once(self):
+        # The sibling path: sensor logs open the frame lazily and the
+        # frame scope *adopts* it — one frame, not a sensor-only frame
+        # plus an inference frame.
+        monitor = EdgeMLMonitor("edge", sink=RingBufferSink(capacity=8))
+        monitor.log_sensor("orientation", 90)
+        with monitor.frame() as frame:
+            frame.scalars["label"] = 1.0
+        summary = monitor.summary()
+        assert summary["num_frames"] == 1
+        assert summary["sensor_only_frames"] == 0
+        assert monitor.frames[0].sensors["orientation"] == 90
+
 
 class TestDirectorySink:
     def test_streamed_log_loads(self, small_cnn, x_frames, tmp_path):
