@@ -1,0 +1,61 @@
+"""Static analysis: verify graphs, plans, and deployments before they run.
+
+ML-EXray's dynamic layer diffing catches deployment bugs at runtime; this
+package is the static complement — ``repro lint``. A registry of
+:class:`~repro.analysis.registry.LintRule` checks (stable ids G/Q/P/S ###)
+runs over a graph and its deployment context and emits structured
+:class:`~repro.analysis.diagnostics.Diagnostic` findings:
+
+* **graph** rules (G001–G005): wiring, topological order, dead nodes,
+  shape/dtype consistency along every edge, duplicate names;
+* **quant** rules (Q001–Q005): scale/zero-point sanity, per-channel length
+  vs weight shape, guaranteed int8 saturation, float/quant boundaries;
+* **plan** rules (P001–P003): kernel-binding completeness, arena refcount
+  consistency, silent backend fallbacks (perf warnings);
+* **pipeline** rules (S001–S005): preprocess-recipe contract vs the input
+  spec, sweep-variant registry names, vacuous kernel-bug presets, unknown
+  override keys, unbuildable stages.
+
+Entry points: :func:`lint_graph` (the driver behind ``repro lint``),
+:func:`verify_pass` (convert-pass post-conditions behind ``verify=True``),
+and :func:`preflight_lineup` (sweep pre-flight gating).
+"""
+
+from repro.analysis.diagnostics import (
+    LINT_SCHEMA_VERSION,
+    SEVERITIES,
+    Diagnostic,
+    LintReport,
+    severity_rank,
+)
+from repro.analysis.preflight import preflight_lineup, preflight_variant
+from repro.analysis.registry import (
+    CATEGORIES,
+    RULES,
+    LintRule,
+    RuleContext,
+    lint_graph,
+    make_diagnostic,
+    register_rule,
+    rule_catalog,
+    verify_pass,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Diagnostic",
+    "LINT_SCHEMA_VERSION",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "RuleContext",
+    "SEVERITIES",
+    "lint_graph",
+    "make_diagnostic",
+    "preflight_lineup",
+    "preflight_variant",
+    "register_rule",
+    "rule_catalog",
+    "severity_rank",
+    "verify_pass",
+]

@@ -1,0 +1,217 @@
+"""Diagnostics: the structured findings the static analyzers emit.
+
+A :class:`Diagnostic` is one finding — a stable rule id, a severity, an
+anchor into the graph (node and/or tensor), a human-readable message, and a
+JSON-native evidence dict — modeled on the report layer's versioned
+``to_doc``/``from_doc`` wire discipline so lint results travel the same way
+sweep reports do (CI artifacts, ``repro lint --format json``, diagnostics
+attached to skipped sweep variants).
+
+A :class:`LintReport` aggregates the diagnostics one lint run produced and
+owns severity policy: ``failures(fail_on=...)`` selects the findings at or
+above a threshold, which is what the CLI exit code and the sweep pre-flight
+gate key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError, did_you_mean
+from repro.util.tabulate import format_table
+
+SEVERITIES = ("info", "warning", "error")
+"""Valid severities, in increasing order of badness."""
+
+LINT_SCHEMA_VERSION = 1
+"""Version of the Diagnostic/LintReport JSON wire format."""
+
+
+def severity_rank(severity: str) -> int:
+    """Map a severity name to its rank; raise on unknown names."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValidationError(
+            f"unknown severity {severity!r}"
+            f"{did_you_mean(severity, SEVERITIES)}; "
+            f"use one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable registry id ("G001", "Q003", ...); the contract CI greps on.
+    severity:
+        "error" (deployment will misbehave), "warning" (suspicious or slow),
+        or "info".
+    category:
+        Analyzer family: "graph", "quant", "plan", or "pipeline".
+    message:
+        Human-readable description of the finding.
+    graph / node / tensor:
+        Anchor: the graph name plus, when applicable, the offending node
+        and/or tensor name.
+    evidence:
+        JSON-native structured payload (shapes, counts, offending values) so
+        downstream tooling never has to parse the message.
+    """
+
+    rule_id: str
+    severity: str
+    category: str
+    message: str
+    graph: str | None = None
+    node: str | None = None
+    tensor: str | None = None
+    evidence: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # reject unknown severities early
+
+    @property
+    def where(self) -> str:
+        """Short anchor string for tables: node, tensor, or ``-``."""
+        if self.node is not None:
+            return f"node {self.node}"
+        if self.tensor is not None:
+            return f"tensor {self.tensor}"
+        return "-"
+
+    def describe(self) -> str:
+        anchor = f" ({self.where})" if self.where != "-" else ""
+        return f"[{self.rule_id} {self.severity}] {self.message}{anchor}"
+
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        """JSON-native document; omits unset anchors and empty evidence."""
+        doc = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "category": self.category,
+            "message": self.message,
+        }
+        if self.graph is not None:
+            doc["graph"] = self.graph
+        if self.node is not None:
+            doc["node"] = self.node
+        if self.tensor is not None:
+            doc["tensor"] = self.tensor
+        if self.evidence:
+            doc["evidence"] = dict(self.evidence)
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Diagnostic":
+        """Rebuild a diagnostic from :meth:`to_doc` output.
+
+        Malformed documents raise :class:`ValidationError` naming the
+        missing field, never a bare ``KeyError``.
+        """
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"diagnostic document must be a mapping, got {type(doc).__name__}")
+        for fieldname in ("rule", "severity", "category", "message"):
+            if fieldname not in doc:
+                raise ValidationError(
+                    f"malformed diagnostic document: missing field {fieldname!r}")
+        return cls(
+            rule_id=doc["rule"],
+            severity=doc["severity"],
+            category=doc["category"],
+            message=doc["message"],
+            graph=doc.get("graph"),
+            node=doc.get("node"),
+            tensor=doc.get("tensor"),
+            evidence=dict(doc.get("evidence", {})),
+        )
+
+
+@dataclass
+class LintReport:
+    """Every diagnostic one lint run produced, plus severity policy.
+
+    ``target`` names what was linted (a graph, a model/stage, or a sweep
+    variant); ``backend`` records the backend the plan analyzer compiled
+    against, when one was involved.
+    """
+
+    target: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    backend: str | None = None
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        """Diagnostic count per severity (only severities that occurred)."""
+        out: dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.severity] = out.get(d.severity, 0) + 1
+        return out
+
+    def failures(self, fail_on: str = "error") -> list[Diagnostic]:
+        """Diagnostics at or above the ``fail_on`` severity threshold."""
+        threshold = severity_rank(fail_on)
+        return [d for d in self.diagnostics
+                if severity_rank(d.severity) >= threshold]
+
+    def ok(self, fail_on: str = "error") -> bool:
+        """True when nothing reaches the ``fail_on`` threshold."""
+        return not self.failures(fail_on)
+
+    def render(self, fail_on: str = "error") -> str:
+        """Human-readable table plus a verdict line (the CLI text format).
+
+        ``fail_on`` is the severity threshold the verdict (CLEAN/FAIL) is
+        judged against, matching the exit-code decision in ``repro lint
+        --fail-on``.
+        """
+        title = f"static analysis: {self.target}"
+        if self.backend is not None:
+            title += f" [backend={self.backend}]"
+        if not self.diagnostics:
+            return f"{title}\nlint verdict: CLEAN (no diagnostics)"
+        order = sorted(
+            self.diagnostics,
+            key=lambda d: (-severity_rank(d.severity), d.rule_id))
+        rows = [(d.rule_id, d.severity, d.where, d.message) for d in order]
+        table = format_table(("rule", "severity", "where", "message"), rows,
+                             title=title)
+        counts = self.counts()
+        summary = ", ".join(f"{counts[s]} {s}(s)"
+                            for s in reversed(SEVERITIES) if s in counts)
+        verdict = "CLEAN" if self.ok(fail_on) else "FAIL"
+        return f"{table}\nlint verdict: {verdict} ({summary})"
+
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        return {
+            "schema_version": LINT_SCHEMA_VERSION,
+            "target": self.target,
+            "backend": self.backend,
+            "diagnostics": [d.to_doc() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "LintReport":
+        version = doc.get("schema_version")
+        if version != LINT_SCHEMA_VERSION:
+            raise ValidationError(
+                f"lint-report document has schema version {version!r}; "
+                f"this reader understands version {LINT_SCHEMA_VERSION}")
+        if "target" not in doc:
+            raise ValidationError(
+                "malformed lint-report document: missing field 'target'")
+        return cls(
+            target=doc["target"],
+            diagnostics=[Diagnostic.from_doc(d)
+                         for d in doc.get("diagnostics", [])],
+            backend=doc.get("backend"),
+        )

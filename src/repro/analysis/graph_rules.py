@@ -1,0 +1,157 @@
+"""Graph-structure rules (G001–G005): wiring, ordering, liveness, shapes.
+
+These re-derive :meth:`Graph.validate`'s invariants — plus ones it never
+checks (dead nodes, shape/dtype consistency along every edge) — as
+*diagnostics* instead of a first-failure exception, so a corrupted or
+hand-built graph yields every finding in one pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import RuleContext, register_rule
+from repro.graph.shapes import infer_output_spec
+from repro.util.errors import ShapeError
+
+
+@register_rule("G001", severity="error", category="graph",
+               title="dangling tensor reference")
+def dangling_references(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A node consumes, or the graph outputs, a tensor nothing defines."""
+    g = ctx.graph
+    defined = set(g.inputs)
+    for node in g.nodes:
+        defined.update(node.outputs)
+    for node in g.nodes:
+        for t in node.inputs:
+            if t not in defined:
+                yield ctx.diag(
+                    f"node {node.name!r} consumes tensor {t!r}, which no "
+                    "node produces and which is not a graph input",
+                    node=node.name, tensor=t)
+        for t in node.outputs:
+            if t not in g.tensors:
+                yield ctx.diag(
+                    f"output tensor {t!r} of node {node.name!r} has no spec",
+                    node=node.name, tensor=t)
+    for t in list(g.inputs) + list(g.outputs):
+        if t not in g.tensors:
+            yield ctx.diag(f"graph tensor {t!r} has no spec", tensor=t)
+    for t in g.outputs:
+        if t not in defined:
+            yield ctx.diag(
+                f"graph output {t!r} is never produced", tensor=t)
+
+
+@register_rule("G002", severity="error", category="graph",
+               title="cycle or ordering violation")
+def ordering_violations(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A node consumes a tensor produced only later — a cycle or mis-order."""
+    g = ctx.graph
+    produced_somewhere = {t for node in g.nodes for t in node.outputs}
+    available = set(g.inputs)
+    for node in g.nodes:
+        for t in node.inputs:
+            if t in available or t not in produced_somewhere:
+                continue  # fine, or G001's dangling-reference finding
+            kind = ("its own output" if t in node.outputs
+                    else "a tensor produced only later")
+            yield ctx.diag(
+                f"node {node.name!r} consumes {t!r} — {kind}; the node "
+                "list is not a topological order (cycle or mis-ordering)",
+                node=node.name, tensor=t,
+                evidence={"self_loop": t in node.outputs})
+        available.update(node.outputs)
+
+
+@register_rule("G003", severity="warning", category="graph",
+               title="dead node")
+def dead_nodes(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A node unreachable (backwards) from the graph outputs: dead weight."""
+    g = ctx.graph
+    needed = set(g.outputs)
+    live: set[str] = set()
+    for node in reversed(g.nodes):
+        if any(t in needed for t in node.outputs):
+            live.add(node.name)
+            needed.update(node.inputs)
+    for node in g.nodes:
+        if node.name not in live:
+            yield ctx.diag(
+                f"node {node.name!r} ({node.op}) does not reach any graph "
+                "output; eliminate_dead_nodes would remove it",
+                node=node.name, evidence={"op": node.op})
+
+
+@register_rule("G004", severity="error", category="graph",
+               title="shape/dtype mismatch along an edge")
+def shape_dtype_mismatch(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A recorded tensor spec disagrees with static shape inference."""
+    g = ctx.graph
+    for node in g.nodes:
+        if len(node.outputs) != 1:
+            continue
+        out = node.outputs[0]
+        if out not in g.tensors or any(t not in g.tensors for t in node.inputs):
+            continue  # G001 territory; nothing to infer against
+        input_specs = [g.tensors[t] for t in node.inputs]
+        try:
+            inferred = infer_output_spec(
+                node.op, out, input_specs, node.attrs, node.weights)
+        except ShapeError as exc:
+            yield ctx.diag(
+                f"node {node.name!r} ({node.op}) fails shape inference "
+                f"against its recorded input specs: {exc}",
+                node=node.name, tensor=out,
+                evidence={"op": node.op,
+                          "input_shapes": [list(s.shape) for s in input_specs]})
+            continue
+        recorded = g.tensors[out]
+        if tuple(recorded.shape) != tuple(inferred.shape):
+            yield ctx.diag(
+                f"tensor {out!r}: recorded shape {recorded.shape} != "
+                f"inferred shape {inferred.shape} (producer "
+                f"{node.name!r}, op {node.op})",
+                node=node.name, tensor=out,
+                evidence={"recorded": list(recorded.shape),
+                          "inferred": list(inferred.shape)})
+        # Inference emits float dtypes (quantization annotates later), so
+        # dtype is only comparable where no quantization is recorded.
+        elif recorded.quant is None and recorded.dtype != inferred.dtype:
+            yield ctx.diag(
+                f"tensor {out!r}: recorded dtype {recorded.dtype!r} != "
+                f"inferred dtype {inferred.dtype!r} with no quantization "
+                f"parameters to explain it (producer {node.name!r})",
+                node=node.name, tensor=out,
+                evidence={"recorded": recorded.dtype,
+                          "inferred": inferred.dtype})
+
+
+@register_rule("G005", severity="error", category="graph",
+               title="duplicate names")
+def duplicate_names(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Two nodes share a name, or two nodes produce the same tensor."""
+    g = ctx.graph
+    seen_nodes: set[str] = set()
+    producers: dict[str, str] = {}
+    for node in g.nodes:
+        if node.name in seen_nodes:
+            yield ctx.diag(
+                f"duplicate node name {node.name!r}", node=node.name)
+        seen_nodes.add(node.name)
+        for t in node.outputs:
+            if t in producers:
+                yield ctx.diag(
+                    f"tensor {t!r} is produced twice (by "
+                    f"{producers[t]!r} and {node.name!r})",
+                    node=node.name, tensor=t,
+                    evidence={"first_producer": producers[t]})
+            else:
+                producers[t] = node.name
+        for t in node.outputs:
+            if t in g.inputs:
+                yield ctx.diag(
+                    f"node {node.name!r} writes graph input {t!r}",
+                    node=node.name, tensor=t)

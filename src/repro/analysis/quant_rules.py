@@ -1,0 +1,192 @@
+"""Quantization rules (Q001–Q005): parameter sanity and domain boundaries.
+
+:class:`~repro.quantize.params.QuantParams` rejects most bad values at
+construction, so several of these rules are defense-in-depth for graphs
+whose parameters were corrupted after construction (broken serialization,
+bit flips, future loaders that skip validation) — exactly the "invalid
+quantization parameter" failure class the paper's dynamic layer diffing
+only catches at runtime. Q003–Q005 catch states that are fully
+constructible through today's public APIs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import RuleContext, register_rule
+from repro.quantize.params import dtype_range
+from repro.util.errors import QuantizationError
+
+_RELU_FAMILY = ("relu", "relu6")
+
+
+def _quant_sites(graph) -> Iterator[tuple[str, object, str | None]]:
+    """Yield (label, QuantParams, anchor-node) for every annotated site."""
+    producers = graph.producers()
+    for name, spec in graph.tensors.items():
+        if spec.quant is not None:
+            node = producers.get(name)
+            yield f"tensor {name!r}", spec.quant, \
+                node.name if node is not None else None
+    for node in graph.nodes:
+        for key, params in node.weight_quant.items():
+            yield f"weight {key!r} of node {node.name!r}", params, node.name
+
+
+@register_rule("Q001", severity="error", category="quant",
+               title="non-positive or non-finite scale")
+def bad_scales(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A quantization scale is zero, negative, or non-finite."""
+    for label, params, node in _quant_sites(ctx.graph):
+        scale = np.atleast_1d(np.asarray(params.scale, dtype=np.float64))
+        bad = ~np.isfinite(scale) | (scale <= 0)
+        if np.any(bad):
+            yield ctx.diag(
+                f"{label}: scale(s) {scale[bad].tolist()} are not finite "
+                "and positive; dequantization is undefined",
+                node=node,
+                evidence={"bad_scales": scale[bad].tolist()})
+
+
+@register_rule("Q002", severity="error", category="quant",
+               title="zero point outside dtype range")
+def zero_point_range(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A zero point lies outside its quantized dtype's representable range."""
+    for label, params, node in _quant_sites(ctx.graph):
+        try:
+            qmin, qmax = dtype_range(params.dtype)
+        except QuantizationError:
+            yield ctx.diag(
+                f"{label}: unknown quantized dtype {params.dtype!r}",
+                node=node, evidence={"dtype": params.dtype})
+            continue
+        zp = np.atleast_1d(np.asarray(params.zero_point, dtype=np.int64))
+        bad = (zp < qmin) | (zp > qmax)
+        if np.any(bad):
+            yield ctx.diag(
+                f"{label}: zero point(s) {zp[bad].tolist()} outside the "
+                f"{params.dtype} range [{qmin}, {qmax}]",
+                node=node,
+                evidence={"bad_zero_points": zp[bad].tolist(),
+                          "range": [qmin, qmax]})
+
+
+@register_rule("Q003", severity="error", category="quant",
+               title="per-channel length mismatch vs weight shape")
+def per_channel_length(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Per-channel scales whose length disagrees with the weight's axis dim."""
+    for node in ctx.graph.nodes:
+        for key, params in node.weight_quant.items():
+            if params.axis is None or key not in node.weights:
+                continue
+            w = node.weights[key]
+            scale = np.atleast_1d(np.asarray(params.scale))
+            if not 0 <= params.axis < w.ndim:
+                yield ctx.diag(
+                    f"weight {key!r} of node {node.name!r}: per-channel "
+                    f"axis {params.axis} out of range for weight shape "
+                    f"{tuple(w.shape)}",
+                    node=node.name,
+                    evidence={"axis": params.axis,
+                              "weight_shape": list(w.shape)})
+                continue
+            if w.shape[params.axis] != scale.size:
+                yield ctx.diag(
+                    f"weight {key!r} of node {node.name!r}: "
+                    f"{scale.size} per-channel scale(s) vs "
+                    f"{w.shape[params.axis]} channels along axis "
+                    f"{params.axis} of shape {tuple(w.shape)}",
+                    node=node.name,
+                    evidence={"num_scales": int(scale.size),
+                              "axis": params.axis,
+                              "weight_shape": list(w.shape)})
+
+
+@register_rule("Q004", severity="error", category="quant",
+               title="guaranteed int8 saturation")
+def guaranteed_saturation(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """Activation qparams that pin a ReLU-family output at qmax.
+
+    A ReLU-family fused activation emits values >= 0; if the output zero
+    point sits at qmax, every non-negative real maps to qmax and the layer
+    emits a constant tensor — the §4.4 constant-output failure mode. A
+    near-zero representable span is flagged too (as a warning): the tensor
+    technically round-trips but carries almost no information.
+    """
+    g = ctx.graph
+    for node in g.nodes:
+        if len(node.outputs) != 1 or node.outputs[0] not in g.tensors:
+            continue
+        spec = g.tensors[node.outputs[0]]
+        params = spec.quant
+        if params is None:
+            continue
+        activation = node.attrs.get("activation", "linear")
+        if node.op == "activation":
+            activation = node.attrs.get("fn", "linear")
+        try:
+            qmin, qmax = dtype_range(params.dtype)
+        except QuantizationError:
+            continue  # Q002 reports the unknown dtype
+        zp = np.atleast_1d(np.asarray(params.zero_point, dtype=np.int64))
+        if activation in _RELU_FAMILY and np.all(zp >= qmax):
+            yield ctx.diag(
+                f"tensor {node.outputs[0]!r}: zero point {zp.tolist()} at "
+                f"qmax {qmax} under fused {activation!r} — every "
+                "non-negative output quantizes to qmax (constant tensor)",
+                node=node.name, tensor=node.outputs[0],
+                evidence={"zero_point": zp.tolist(), "qmax": int(qmax),
+                          "activation": activation})
+            continue
+        scale = np.atleast_1d(np.asarray(params.scale, dtype=np.float64))
+        span = float(np.min(scale)) * (qmax - qmin)
+        if 0 < span < 1e-10:
+            yield ctx.diag(
+                f"tensor {node.outputs[0]!r}: representable span "
+                f"{span:.3e} is degenerate; the quantized tensor carries "
+                "almost no information",
+                node=node.name, tensor=node.outputs[0],
+                severity="warning",
+                evidence={"span": span})
+
+
+@register_rule("Q005", severity="error", category="quant",
+               title="float/quant boundary missing a bridge")
+def domain_boundaries(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """A quantized/float edge crossed without a quantize/dequantize node.
+
+    Every edge between a float tensor and a quantized-domain consumer (or
+    vice versa) must pass through a ``quantize``/``dequantize`` bridge —
+    otherwise the executor interprets raw int8 codes as reals (or
+    quantizes nothing), the silent-garbage analogue of a missing requant.
+    """
+    g = ctx.graph
+    for node in g.nodes:
+        if node.op in ("quantize", "dequantize"):
+            wants_quant_input = node.op == "dequantize"
+        else:
+            if len(node.outputs) != 1 or node.outputs[0] not in g.tensors:
+                continue
+            wants_quant_input = g.tensors[node.outputs[0]].quant is not None
+        for t in node.inputs:
+            spec = g.tensors.get(t)
+            if spec is None:
+                continue  # dangling; G001 reports it
+            is_quant = spec.quant is not None
+            if is_quant == wants_quant_input:
+                continue
+            if wants_quant_input:
+                msg = (f"node {node.name!r} ({node.op}) executes in the "
+                       f"quantized domain but consumes float tensor {t!r} "
+                       "without a quantize bridge")
+            else:
+                msg = (f"node {node.name!r} ({node.op}) executes in the "
+                       f"float domain but consumes quantized tensor {t!r} "
+                       "without a dequantize bridge")
+            yield ctx.diag(msg, node=node.name, tensor=t,
+                           evidence={"op": node.op,
+                                     "input_quantized": is_quant,
+                                     "node_quantized": wants_quant_input})

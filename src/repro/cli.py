@@ -5,6 +5,8 @@ its operational surface::
 
     python -m repro list-models
     python -m repro export micro_mobilenet_v2 --stage quantized -o v2.rpm
+    python -m repro lint micro_mobilenet_v2 --stage quantized
+    python -m repro lint v2.rpm --backend batched --format json
     python -m repro validate micro_mobilenet_v2 --bug channel_order=bgr
     python -m repro sweep micro_mobilenet_v2 --variant clean \
         --variant bgr:channel_order=bgr --variant q:stage=quantized
@@ -17,6 +19,13 @@ its operational surface::
     python -m repro profile micro_mobilenet_v2 --stage quantized \
         --resolver reference --device pixel4_cpu
 
+``lint`` runs the static analyzer (:mod:`repro.analysis`) over a zoo model
+or an exported ``.rpm`` file — graph wiring, quantization parameters,
+backend/plan bindings, pipeline metadata — and exits 1 when findings at or
+above ``--fail-on`` severity exist (the CI gate). The same rules pre-vet
+every ``sweep`` lineup: statically-doomed variants are reported as
+``skipped`` with their diagnostics instead of burning a worker
+(``--no-preflight`` restores raise-on-bad-field behaviour).
 ``validate`` runs the full Figure-2 flowchart: instrumented edge app (with
 optional injected bugs) vs the model's reference pipeline over played-back
 data, then prints the validation report. ``sweep`` fans many deployment
@@ -40,7 +49,8 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.graph import save_model
+from repro.analysis import SEVERITIES, lint_graph
+from repro.graph import load_model, save_model
 from repro.instrument import DirectorySink, EXrayLog, MLEXray, log_digest
 from repro.perfmodel import DEVICES
 from repro.pipelines import EdgeApp, build_reference_app, make_preprocess
@@ -97,6 +107,26 @@ def cmd_export(args, out) -> int:
     return 0
 
 
+def cmd_lint(args, out) -> int:
+    # `repro lint <model|file.rpm>`: static deployment verification — no
+    # data is played back and no kernels run; exit 1 when findings at or
+    # above --fail-on severity exist, so CI can gate on it.
+    path = Path(args.model)
+    if path.suffix == ".rpm" or path.is_file():
+        graph = load_model(path)
+        target = str(path)
+    else:
+        graph = get_model(args.model, stage=args.stage)
+        target = f"{args.model}:{args.stage}"
+    report = lint_graph(graph, backend=args.backend, device=args.device,
+                        target=target)
+    if args.format == "json":
+        print(json.dumps(report.to_doc(), indent=2), file=out)
+    else:
+        print(report.render(args.fail_on), file=out)
+    return 0 if report.ok(args.fail_on) else 1
+
+
 def cmd_train(args, out) -> int:
     _, _, meta = get_trained(args.model, force_retrain=args.force)
     acc = meta.get("val_accuracy")
@@ -146,7 +176,11 @@ def cmd_sweep(args, out) -> int:
             "positional shard directories are only valid with "
             "'repro sweep merge <dir>...'")
     if args.variant:
-        variants = [parse_variant_spec(spec) for spec in args.variant]
+        # With the pre-flight on, field validation is deferred to it so a
+        # statically-broken spec becomes a skipped result with diagnostics
+        # instead of a parse error.
+        variants = [parse_variant_spec(spec, check=args.no_preflight)
+                    for spec in args.variant]
     else:
         entry = get_entry(args.model)
         if entry.task not in ("classification", "detection", "segmentation"):
@@ -178,6 +212,7 @@ def cmd_sweep(args, out) -> int:
         max_failures=args.max_failures, deadline_s=args.deadline_s,
         on_result=progress if args.stream else None,
         backends=args.backends, log_dir=args.log_dir,
+        preflight=not args.no_preflight,
     )
     if args.triage:
         report.triage = triage_sweep(report)
@@ -223,7 +258,8 @@ def _sweep_sharded(args, variants, out) -> int:
     manifests = plan_shards(
         args.model, variants, n_shards=args.shards, frames=args.frames,
         always_assert=args.always_assert, reference="../reference",
-        reference_digest=log_digest(ref_root))
+        reference_digest=log_digest(ref_root),
+        check=args.no_preflight)
     shard_dirs = write_shards(manifests, out_dir)
     rows = [(m.shard_id, len(m.variants),
              " ".join(v.name for v in m.variants)) for m in manifests]
@@ -248,7 +284,8 @@ def _sweep_sharded(args, variants, out) -> int:
         run_shard(shard_dir / MANIFEST_NAME, shard_dir,
                   executor=args.executor, workers=args.workers,
                   on_result=progress if args.stream else None,
-                  verify_reference=False)
+                  verify_reference=False,
+                  preflight=not args.no_preflight)
     # verify=False: this process wrote every artifact moments ago;
     # re-hashing them buys nothing on the local path. --strict still
     # upgrades structural problems (a worker crash mid-artifact) to errors.
@@ -274,7 +311,8 @@ def _sweep_merge(args, out) -> int:
                "--max-failures": args.max_failures,
                "--deadline-s": args.deadline_s, "--stream": args.stream,
                "--workers": args.workers,
-               "--always-assert": args.always_assert}
+               "--always-assert": args.always_assert,
+               "--no-preflight": args.no_preflight}
     passed = [flag for flag, value in ignored.items() if value]
     if passed:
         raise ValidationError(
@@ -389,6 +427,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.add_argument("--force", action="store_true")
 
+    p = sub.add_parser(
+        "lint", help="statically verify a model graph/plan/deployment")
+    p.add_argument("model", help="zoo model name, or a .rpm model file path")
+    p.add_argument("--stage", default="mobile",
+                   choices=("checkpoint", "mobile", "quantized"),
+                   help="deployment stage to lint (zoo models only; a .rpm "
+                        "file already is a stage)")
+    p.add_argument("--backend", default=None,
+                   choices=sorted(RESOLVERS) + ["auto"],
+                   help="lint plan/binding rules against this kernel "
+                        "backend (default: optimized)")
+    p.add_argument("--device", default=None, choices=sorted(DEVICES),
+                   help="simulated device, for per-device backend selection "
+                        "with --backend auto")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="text report or the versioned LintReport JSON")
+    p.add_argument("--fail-on", default="error", choices=SEVERITIES,
+                   help="lowest severity that makes the lint fail (exit 1); "
+                        "default: error")
+
     p = sub.add_parser("validate",
                        help="edge-vs-reference deployment validation")
     p.add_argument("model")
@@ -470,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="with 'merge': treat missing/corrupt shard "
                         "artifacts as errors instead of skipped variants")
+    p.add_argument("--no-preflight", action="store_true",
+                   help="skip the static pre-flight lint: statically-broken "
+                        "variants raise instead of landing in the report "
+                        "as skipped results with diagnostics")
 
     p = sub.add_parser(
         "sweep-worker",
@@ -510,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
 COMMANDS = {
     "list-models": cmd_list_models,
     "export": cmd_export,
+    "lint": cmd_lint,
     "train": cmd_train,
     "validate": cmd_validate,
     "sweep": cmd_sweep,

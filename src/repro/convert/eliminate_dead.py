@@ -6,8 +6,14 @@ from repro.convert.rebuild import rebuild
 from repro.graph.graph import Graph
 
 
-def eliminate_dead_nodes(graph: Graph) -> Graph:
-    """Remove nodes not reachable (backwards) from the graph outputs."""
+def eliminate_dead_nodes(graph: Graph, *, verify: bool = False) -> Graph:
+    """Remove nodes not reachable (backwards) from the graph outputs.
+
+    ``verify=True`` lints the result's structural post-conditions
+    (:func:`~repro.analysis.registry.verify_pass`); since this pass's whole
+    contract is "no dead nodes remain", any G003 (dead-node) finding is
+    escalated to a failure even though it is normally only a warning.
+    """
     needed: set[str] = set(graph.outputs)
     keep: list = []
     for node in reversed(graph.nodes):
@@ -16,5 +22,10 @@ def eliminate_dead_nodes(graph: Graph) -> Graph:
             needed.update(node.inputs)
     keep.reverse()
     if len(keep) == len(graph.nodes):
-        return graph
-    return rebuild(graph, keep, metadata={"eliminated_dead_nodes": True})
+        out = graph
+    else:
+        out = rebuild(graph, keep, metadata={"eliminated_dead_nodes": True})
+    if verify:
+        from repro.analysis.registry import verify_pass
+        verify_pass(out, "eliminate_dead_nodes", forbid=("G003",))
+    return out

@@ -59,12 +59,17 @@ def _out_channels(node: Node) -> int:
     return int(w.shape[2] * w.shape[3])
 
 
-def fold_batch_norm(graph: Graph) -> Graph:
+def fold_batch_norm(graph: Graph, *, verify: bool = False) -> Graph:
     """Fold every foldable ``batch_norm`` node into its producer.
 
     A BN folds when its input is produced by a conv/depthwise/dense node that
     has no other consumer. Unfoldable BNs (e.g. directly on an input) are
     left in place.
+
+    ``verify=True`` lints the folded graph's structural post-conditions
+    (:func:`~repro.analysis.registry.verify_pass`) and raises
+    :class:`~repro.util.errors.GraphError` listing the diagnostics if the
+    pass produced a broken graph.
     """
     consumers = graph.consumers()
     producers = graph.producers()
@@ -97,4 +102,8 @@ def fold_batch_norm(graph: Graph) -> Graph:
         node = replacements.get(node.name, node)
         new_nodes.append(copy.copy(node))
 
-    return rebuild(graph, new_nodes, metadata={"folded_batch_norm": True})
+    out = rebuild(graph, new_nodes, metadata={"folded_batch_norm": True})
+    if verify:
+        from repro.analysis.registry import verify_pass
+        verify_pass(out, "fold_batch_norm")
+    return out

@@ -17,8 +17,12 @@ _FUSABLE_INTO = ("conv2d", "depthwise_conv2d", "dense", "add")
 _FUSABLE_FNS = ("relu", "relu6")
 
 
-def fuse_activations(graph: Graph) -> Graph:
-    """Fuse eligible activation nodes into the producing op's ``activation`` attr."""
+def fuse_activations(graph: Graph, *, verify: bool = False) -> Graph:
+    """Fuse eligible activation nodes into the producing op's ``activation`` attr.
+
+    ``verify=True`` lints the fused graph's structural post-conditions
+    (:func:`~repro.analysis.registry.verify_pass`) before returning it.
+    """
     consumers = graph.consumers()
     producers = graph.producers()
     dropped: set[str] = set()
@@ -53,4 +57,8 @@ def fuse_activations(graph: Graph) -> Graph:
         node = replacements.get(node.name, node)
         new_nodes.append(copy.copy(node))
 
-    return rebuild(graph, new_nodes, metadata={"fused_activations": True})
+    out = rebuild(graph, new_nodes, metadata={"fused_activations": True})
+    if verify:
+        from repro.analysis.registry import verify_pass
+        verify_pass(out, "fuse_activations")
+    return out

@@ -16,10 +16,15 @@ from repro.graph.graph import Graph
 MOBILE_PASSES = (fold_batch_norm, fuse_activations, eliminate_dead_nodes)
 
 
-def convert_to_mobile(graph: Graph) -> Graph:
-    """Run all conversion passes; returns the deployable float model."""
+def convert_to_mobile(graph: Graph, *, verify: bool = False) -> Graph:
+    """Run all conversion passes; returns the deployable float model.
+
+    ``verify=True`` threads per-pass post-condition linting through every
+    pass, so a conversion bug is pinned to the pass that introduced it
+    rather than surfacing as a downstream execution failure.
+    """
     out = graph
     for pass_fn in MOBILE_PASSES:
-        out = pass_fn(out)
+        out = pass_fn(out, verify=verify)
     out.metadata["stage"] = "mobile"
     return out

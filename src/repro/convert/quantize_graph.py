@@ -157,8 +157,18 @@ def quantize_graph(
     graph: Graph,
     representative_batches: list[np.ndarray | dict[str, np.ndarray]],
     config: QuantizationConfig = QuantizationConfig(),
+    *,
+    verify: bool = False,
 ) -> Graph:
-    """Convert a float mobile graph into a full-integer quantized graph."""
+    """Convert a float mobile graph into a full-integer quantized graph.
+
+    ``verify=True`` lints the quantized graph's structural and
+    quantization-parameter post-conditions
+    (:func:`~repro.analysis.registry.verify_pass`) — scale/zero-point
+    sanity, per-channel axis lengths, quantize/dequantize domain bridging —
+    and raises :class:`~repro.util.errors.GraphError` on any error-severity
+    finding.
+    """
     for node in graph.nodes:
         if node.op not in _QUANTIZABLE_OPS:
             raise QuantizationError(
@@ -231,4 +241,7 @@ def quantize_graph(
                   }},
     )
     qgraph.validate()
+    if verify:
+        from repro.analysis.registry import verify_pass
+        verify_pass(qgraph, "quantize_graph")
     return qgraph

@@ -17,9 +17,42 @@ from repro.graph.graph import Graph
 from repro.graph.node import Node, attrs_from_json
 from repro.graph.spec import TensorSpec
 from repro.quantize.params import QuantParams
-from repro.util.errors import GraphError
+from repro.util.errors import GraphError, ReproError, ValidationError
 
 _FORMAT_VERSION = 1
+
+
+def _get(doc, key: str, path: str):
+    """Fetch ``doc[key]``, naming the full field path on failure.
+
+    Malformed model documents raise :class:`ValidationError` with the
+    offending field path (e.g. ``nodes[3].weight_keys``) instead of a bare
+    ``KeyError`` from deep inside the loader.
+    """
+    if not isinstance(doc, dict):
+        raise ValidationError(
+            f"malformed model document: {path or 'document'} should be a "
+            f"mapping, got {type(doc).__name__}")
+    try:
+        return doc[key]
+    except KeyError:
+        field = f"{path}.{key}" if path else key
+        raise ValidationError(
+            f"malformed model document: missing field {field!r}") from None
+
+
+def _load_json(factory, doc, path: str):
+    """Run a ``from_json`` classmethod, mapping KeyError to a field path."""
+    try:
+        return factory(doc)
+    except KeyError as exc:
+        raise ValidationError(
+            f"malformed model document: missing field "
+            f"{path}.{exc.args[0]}") from None
+    except (TypeError, AttributeError) as exc:
+        raise ValidationError(
+            f"malformed model document: field {path!r} is malformed "
+            f"({exc})") from None
 
 
 def graph_to_bytes(graph: Graph) -> bytes:
@@ -54,41 +87,61 @@ def save_model(graph: Graph, path: str | Path) -> int:
 
 
 def graph_from_bytes(payload: bytes) -> Graph:
-    """Deserialize a graph from bytes produced by :func:`graph_to_bytes`."""
-    with np.load(io.BytesIO(payload)) as data:
-        doc = json.loads(bytes(data["__graph__"]).decode("utf-8"))
-        if doc.get("format_version") != _FORMAT_VERSION:
-            raise GraphError(
-                f"unsupported model format version {doc.get('format_version')!r}"
-            )
-        arrays = {key: data[key] for key in data.files if key != "__graph__"}
-    tensors = {t["name"]: TensorSpec.from_json(t) for t in doc["tensors"]}
+    """Deserialize a graph from bytes produced by :func:`graph_to_bytes`.
+
+    Malformed documents (missing fields, wrong field types) raise
+    :class:`ValidationError` naming the offending field path; structural
+    problems in an otherwise well-formed document (unknown ops, bad
+    wiring, missing weight arrays) raise :class:`GraphError`.
+    """
+    try:
+        with np.load(io.BytesIO(payload)) as data:
+            if "__graph__" not in data.files:
+                raise ValidationError(
+                    "malformed model file: no __graph__ document entry")
+            doc = json.loads(bytes(data["__graph__"]).decode("utf-8"))
+            if doc.get("format_version") != _FORMAT_VERSION:
+                raise GraphError(
+                    f"unsupported model format version "
+                    f"{doc.get('format_version')!r}"
+                )
+            arrays = {key: data[key] for key in data.files if key != "__graph__"}
+    except (ValueError, OSError) as exc:
+        raise ValidationError(f"malformed model file: {exc}") from None
+    tensors = {}
+    for i, tjson in enumerate(_get(doc, "tensors", "")):
+        spec = _load_json(TensorSpec.from_json, tjson, f"tensors[{i}]")
+        tensors[spec.name] = spec
     nodes = []
-    for njson in doc["nodes"]:
+    for i, njson in enumerate(_get(doc, "nodes", "")):
+        path = f"nodes[{i}]"
+        name = _get(njson, "name", path)
         weights = {}
-        for key in njson["weight_keys"]:
-            full = f"w::{njson['name']}::{key}"
+        for key in _get(njson, "weight_keys", path):
+            full = f"w::{name}::{key}"
             if full not in arrays:
                 raise GraphError(f"model file missing weight array {full!r}")
             weights[key] = arrays[full]
         weight_quant = {
-            k: QuantParams.from_json(q) for k, q in njson["weight_quant"].items()
+            k: _load_json(QuantParams.from_json, q,
+                          f"{path}.weight_quant[{k!r}]")
+            for k, q in _get(njson, "weight_quant", path).items()
         }
         nodes.append(
             Node(
-                name=njson["name"],
-                op=njson["op"],
-                inputs=list(njson["inputs"]),
-                outputs=list(njson["outputs"]),
-                attrs=attrs_from_json(njson["attrs"]),
+                name=name,
+                op=_get(njson, "op", path),
+                inputs=list(_get(njson, "inputs", path)),
+                outputs=list(_get(njson, "outputs", path)),
+                attrs=attrs_from_json(_get(njson, "attrs", path)),
                 weights=weights,
                 weight_quant=weight_quant,
             )
         )
     graph = Graph(
-        name=doc["name"],
-        inputs=list(doc["inputs"]),
-        outputs=list(doc["outputs"]),
+        name=_get(doc, "name", ""),
+        inputs=list(_get(doc, "inputs", "")),
+        outputs=list(_get(doc, "outputs", "")),
         nodes=nodes,
         tensors=tensors,
         metadata=dict(doc.get("metadata", {})),
@@ -99,4 +152,12 @@ def graph_from_bytes(payload: bytes) -> Graph:
 
 def load_model(path: str | Path) -> Graph:
     """Load a graph previously written by :func:`save_model`."""
-    return graph_from_bytes(Path(path).read_bytes())
+    path = Path(path)
+    try:
+        payload = path.read_bytes()
+    except OSError as exc:
+        raise ValidationError(f"cannot read model file {path}: {exc}") from None
+    try:
+        return graph_from_bytes(payload)
+    except ReproError as exc:
+        raise type(exc)(f"{path}: {exc}") from None

@@ -46,7 +46,7 @@ from repro.kernels.quantized.bugs import (
 )
 from repro.runtime.executors_float import FLOAT_EXECUTORS
 from repro.runtime.executors_quant import QUANT_EXECUTORS
-from repro.util.errors import GraphError, ValidationError
+from repro.util.errors import GraphError, ValidationError, did_you_mean
 
 Executor = Callable[[Node, list[np.ndarray], "object"], np.ndarray]
 
@@ -294,7 +294,8 @@ def make_resolver(kind: str, kernel_bugs: str = "none", device=None) -> BaseOpRe
         bugs = KERNEL_BUG_PRESETS[kernel_bugs]
     except KeyError:
         raise ValidationError(
-            f"unknown kernel-bug preset {kernel_bugs!r}; "
+            f"unknown kernel-bug preset {kernel_bugs!r}"
+            f"{did_you_mean(kernel_bugs, KERNEL_BUG_PRESETS)}; "
             f"available: {sorted(KERNEL_BUG_PRESETS)}"
         ) from None
     if kind == "auto":
@@ -303,7 +304,8 @@ def make_resolver(kind: str, kernel_bugs: str = "none", device=None) -> BaseOpRe
         descriptor = RESOLVERS[kind]
     except KeyError:
         raise ValidationError(
-            f"unknown resolver kind {kind!r}; "
+            f"unknown resolver kind {kind!r}"
+            f"{did_you_mean(kind, [*RESOLVERS, 'auto'])}; "
             f"available: {sorted(RESOLVERS)} (or 'auto')"
         ) from None
     return descriptor(bugs=bugs)

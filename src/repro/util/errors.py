@@ -4,6 +4,22 @@ Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures without catching unrelated bugs.
 """
 
+from __future__ import annotations
+
+import difflib
+from collections.abc import Iterable
+
+
+def did_you_mean(name: object, options: Iterable[object]) -> str:
+    """A ``"; did you mean 'x'?"`` suffix for unknown-name error messages.
+
+    Returns an empty string when nothing in ``options`` is close enough, so
+    callers can append the result unconditionally.
+    """
+    matches = difflib.get_close_matches(
+        str(name), [str(o) for o in options], n=1, cutoff=0.6)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

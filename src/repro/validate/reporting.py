@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.util.errors import ValidationError
 from repro.util.tabulate import format_table
 from repro.validate.session import ValidationReport
@@ -47,6 +48,9 @@ class VariantResult:
     ``log_dir`` names the on-disk EXray log directory when the sweep
     streamed edge logs (``repro sweep --log-dir``); inspect it with
     ``repro log show`` or :meth:`EXrayLog.load`.
+    ``diagnostics`` carries static-analysis findings the sweep pre-flight
+    attached — the reason a variant was skipped before dispatch (errors),
+    or advisory findings on a variant that still ran (warnings).
     """
 
     variant: SweepVariant
@@ -55,6 +59,7 @@ class VariantResult:
     peak_memory_mb: float
     status: str = STATUS_OK
     log_dir: str | None = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -75,8 +80,13 @@ class VariantResult:
 
     # ------------------------------------------------------------ wire format
     def to_doc(self) -> dict:
-        """JSON-native document; nested reports serialize recursively."""
-        return {
+        """JSON-native document; nested reports serialize recursively.
+
+        ``diagnostics`` is emitted only when non-empty, so documents for
+        lineups the pre-flight had nothing to say about stay byte-identical
+        to the pre-diagnostics wire format.
+        """
+        doc = {
             "variant": self.variant.to_doc(),
             "report": self.report.to_doc() if self.report is not None else None,
             "mean_latency_ms": self.mean_latency_ms,
@@ -84,6 +94,9 @@ class VariantResult:
             "status": self.status,
             "log_dir": self.log_dir,
         }
+        if self.diagnostics:
+            doc["diagnostics"] = [d.to_doc() for d in self.diagnostics]
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "VariantResult":
@@ -96,6 +109,8 @@ class VariantResult:
             peak_memory_mb=doc["peak_memory_mb"],
             status=doc.get("status", STATUS_OK),
             log_dir=doc.get("log_dir"),
+            diagnostics=[Diagnostic.from_doc(d)
+                         for d in doc.get("diagnostics", [])],
         )
 
 
@@ -154,6 +169,10 @@ class SweepReport:
         for r in detailed:
             lines.append(f"--- variant {r.variant.name} ---")
             lines.append(r.report.render())
+        for r in self.results:
+            if r.diagnostics:
+                lines.append(f"--- pre-flight {r.variant.name} ---")
+                lines.extend(f"  {d.describe()}" for d in r.diagnostics)
         if self.healthy:
             verdict = "HEALTHY"
         elif unhealthy:

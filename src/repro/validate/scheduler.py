@@ -96,10 +96,12 @@ class SweepPolicy:
                 f"deadline_s must be >= 0, got {self.deadline_s}")
 
 
-def _unrun(variant: SweepVariant, status: str) -> VariantResult:
+def _unrun(variant: SweepVariant, status: str,
+           diagnostics: list | None = None) -> VariantResult:
     """A placeholder result for a variant the scheduler never finished."""
     return VariantResult(variant=variant, report=None, mean_latency_ms=0.0,
-                         peak_memory_mb=0.0, status=status)
+                         peak_memory_mb=0.0, status=status,
+                         diagnostics=list(diagnostics or []))
 
 
 async def stream_sweep(
@@ -116,6 +118,7 @@ async def stream_sweep(
     backends: list[str] | str | None = None,
     log_dir: str | Path | None = None,
     ref_log_dir: str | Path | None = None,
+    preflight: bool = True,
 ) -> AsyncIterator[VariantResult]:
     """Yield one :class:`VariantResult` per variant, as each completes.
 
@@ -145,15 +148,25 @@ async def stream_sweep(
     and jobs read the shared log from that path. The directory must hold a
     loadable EXray log for the same (model, frames, tag) playback — shard
     workers verify this by content digest before trusting it.
+    ``preflight=True`` (the default) statically vets the lineup first
+    (:func:`~repro.analysis.preflight.preflight_lineup`): variants with
+    error-severity diagnostics are yielded immediately as ``skipped``
+    results carrying those diagnostics, warning-level findings ride along
+    on the results of variants that still run, and only the statically
+    sound remainder is dispatched. With ``preflight=False`` every field
+    problem raises from ``plan_variants`` instead.
     """
-    variants = plan_variants(variants)
+    # Lineup *structure* problems (empty, duplicate names) always raise —
+    # there is no single variant to pin a diagnostic on. Per-variant field
+    # validation is deferred to the pre-flight when it is on, so a bad
+    # field becomes a skipped result instead of an exception.
+    variants = plan_variants(variants, check=not preflight)
     if backends is not None:
-        variants = plan_variants(expand_backends(variants, backends))
+        variants = plan_variants(expand_backends(variants, backends),
+                                 check=not preflight)
     check_executor(executor, workers)
     policy = policy or SweepPolicy()
     policy.check()
-    order = (order_by_expected_failure(variants) if policy.prioritize
-             else list(variants))
 
     # Warm the shared on-disk weight cache in the parent so pool workers
     # load trained parameters instead of each retraining the model, and run
@@ -161,6 +174,40 @@ async def stream_sweep(
     # to disk so jobs share it by path.
     from repro.zoo import get_trained
     get_trained(model)
+
+    doomed: list[VariantResult] = []
+    carried: dict[str, list] = {}
+    if preflight:
+        from repro.analysis.preflight import preflight_lineup
+
+        reports = preflight_lineup(model, variants)
+        runnable = []
+        for variant in variants:
+            report = reports[variant.name]
+            if report.has_errors:
+                doomed.append(_unrun(variant, STATUS_SKIPPED,
+                                     report.diagnostics))
+            else:
+                if report.diagnostics:
+                    carried[variant.name] = list(report.diagnostics)
+                runnable.append(variant)
+        # Survivors still pass the full field validation: the pre-flight
+        # mirrors it rule-for-rule, so this is belt-and-braces.
+        variants = plan_variants(runnable) if runnable else []
+    for result in doomed:
+        yield result
+    if not variants:
+        return
+
+    def _carry(result: VariantResult) -> VariantResult:
+        extra = carried.get(result.variant.name)
+        if extra:
+            result.diagnostics = list(extra)
+        return result
+
+    order = (order_by_expected_failure(variants) if policy.prioritize
+             else list(variants))
+
     log_root = Path(log_dir) if log_dir is not None else None
     if log_root is not None:
         # Fail in the parent, before any dispatch: a variant named
@@ -219,7 +266,7 @@ async def stream_sweep(
                 result = _run_variant_args(job_args(variant))
                 if not result.healthy:
                     failures += 1
-                yield result
+                yield _carry(result)
             tail_status = (STATUS_CANCELLED
                            if deadline is not None and loop.time() >= deadline
                            else STATUS_SKIPPED)
@@ -260,7 +307,7 @@ async def stream_sweep(
                     result = fut.result()
                     if not result.healthy:
                         failures += 1
-                    yield result
+                    yield _carry(result)
             tail_status = (STATUS_CANCELLED
                            if deadline is not None and loop.time() >= deadline
                            else STATUS_SKIPPED)

@@ -179,6 +179,7 @@ def plan_shards(
     tag: str = "sweep",
     reference: str | None = None,
     reference_digest: str | None = None,
+    check: bool = True,
 ) -> list[ShardManifest]:
     """Partition a sweep lineup into self-contained shard manifests.
 
@@ -194,8 +195,13 @@ def plan_shards(
     :func:`~repro.validate.sweep.run_sweep`; fan a backend axis with
     :func:`~repro.validate.variants.expand_backends` *before* planning so
     ``name@backend`` clones can land on different shards.
+
+    ``check=False`` skips per-variant field validation (lineup structure is
+    always checked) — for drivers whose shard workers run the sweep
+    pre-flight, which records statically-broken variants as skipped results
+    instead of refusing to plan the fleet.
     """
-    lineup = plan_variants(variants)
+    lineup = plan_variants(variants, check=check)
     if (n_shards is None) == (max_variants_per_shard is None):
         raise ValidationError(
             "plan_shards needs exactly one of n_shards / "
@@ -272,6 +278,7 @@ def run_shard(
     workers: int | None = None,
     on_result=None,
     verify_reference: bool = True,
+    preflight: bool = True,
 ) -> SweepReport:
     """Execute one shard manifest into a portable artifact under ``out_dir``.
 
@@ -300,6 +307,11 @@ def run_shard(
     passing a :class:`ShardManifest` object instead of a path resolves it
     against the current working directory.
 
+    ``preflight`` mirrors :func:`~repro.validate.sweep.run_sweep`: by
+    default the scheduler statically vets the shard's variants and records
+    provably-broken ones as ``skipped`` results with diagnostics, so one
+    bad variant cannot sink an otherwise-healthy shard artifact.
+
     Returns the shard report (also written to disk).
     """
     manifest_base = Path.cwd()
@@ -310,7 +322,11 @@ def run_shard(
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
-    shard_variants = plan_variants(list(manifest.variants))
+    # Field validation is deferred to the scheduler's pre-flight when it is
+    # on, so a statically-broken variant lands in the artifact as a skipped
+    # result with diagnostics rather than failing the whole shard.
+    shard_variants = plan_variants(list(manifest.variants),
+                                   check=not preflight)
 
     ref_log_dir = _resolve_reference(manifest, manifest_base)
     if ref_log_dir is not None and not (ref_log_dir / "meta.json").exists():
@@ -331,7 +347,8 @@ def run_shard(
             manifest.model, shard_variants, frames=manifest.frames,
             executor=executor, workers=workers,
             always_assert=manifest.always_assert, tag=manifest.tag,
-            log_dir=logs_root, ref_log_dir=ref_log_dir):
+            log_dir=logs_root, ref_log_dir=ref_log_dir,
+            preflight=preflight):
         results.append(result)
         if on_result is not None:
             on_result(result, len(results), len(shard_variants))

@@ -98,6 +98,7 @@ def run_sweep(
     backends: list[str] | str | None = None,
     log_dir=None,
     ref_log_dir=None,
+    preflight: bool = True,
 ) -> SweepReport:
     """Validate many deployment variants of one model and block for all.
 
@@ -145,6 +146,16 @@ def run_sweep(
         running the reference pipeline (the fleet-mode seam sharded sweeps
         use: the planner builds the reference once, every shard worker
         reuses it by path).
+    preflight:
+        Statically lint each variant before dispatch (the default):
+        variants the analyzer proves broken — unknown registry names, bad
+        preprocess override keys, unbuildable stages — come back as
+        ``skipped`` results carrying their
+        :class:`~repro.analysis.diagnostics.Diagnostic` list instead of
+        ever executing, and warning-level findings ride along on the
+        results of variants that still run. ``preflight=False`` restores
+        raise-on-first-bad-field behaviour (``repro sweep
+        --no-preflight``).
     """
     # The scheduler owns validation (plan_variants); here the lineup is
     # only needed for its length and report order, so the backend axis is
@@ -158,7 +169,8 @@ def run_sweep(
     for result in iter_sweep(
             model, variants, frames=frames, executor=executor,
             workers=workers, always_assert=always_assert, tag=tag,
-            policy=policy, log_dir=log_dir, ref_log_dir=ref_log_dir):
+            policy=policy, log_dir=log_dir, ref_log_dir=ref_log_dir,
+            preflight=preflight):
         results.append(result)
         if on_result is not None:
             on_result(result, len(results), len(variants))

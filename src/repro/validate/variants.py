@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.perfmodel.device import DEVICES
 from repro.runtime.resolver import KERNEL_BUG_PRESETS, RESOLVERS
-from repro.util.errors import ValidationError
+from repro.util.errors import ValidationError, did_you_mean
 
 STAGES = ("checkpoint", "mobile", "quantized")
 
@@ -51,19 +51,23 @@ class SweepVariant:
         """
         if self.stage not in STAGES:
             raise ValidationError(
-                f"variant {self.name!r}: unknown stage {self.stage!r}; "
-                f"use one of {STAGES}")
+                f"variant {self.name!r}: unknown stage {self.stage!r}"
+                f"{did_you_mean(self.stage, STAGES)}; use one of {STAGES}")
         if self.resolver != "auto" and self.resolver not in RESOLVERS:
             raise ValidationError(
-                f"variant {self.name!r}: unknown resolver {self.resolver!r}; "
+                f"variant {self.name!r}: unknown resolver {self.resolver!r}"
+                f"{did_you_mean(self.resolver, [*RESOLVERS, 'auto'])}; "
                 f"available: {sorted(RESOLVERS)} (or 'auto')")
         if self.kernel_bugs not in KERNEL_BUG_PRESETS:
             raise ValidationError(
                 f"variant {self.name!r}: unknown kernel-bug preset "
-                f"{self.kernel_bugs!r}; available: {sorted(KERNEL_BUG_PRESETS)}")
+                f"{self.kernel_bugs!r}"
+                f"{did_you_mean(self.kernel_bugs, KERNEL_BUG_PRESETS)}; "
+                f"available: {sorted(KERNEL_BUG_PRESETS)}")
         if self.device not in DEVICES:
             raise ValidationError(
-                f"variant {self.name!r}: unknown device {self.device!r}; "
+                f"variant {self.name!r}: unknown device {self.device!r}"
+                f"{did_you_mean(self.device, DEVICES)}; "
                 f"available: {sorted(DEVICES)}")
 
     def describe(self) -> str:
@@ -149,14 +153,16 @@ def _split_pairs(rest: str) -> list[str]:
     return pairs
 
 
-def parse_variant_spec(spec: str) -> SweepVariant:
+def parse_variant_spec(spec: str, *, check: bool = True) -> SweepVariant:
     """Parse a CLI variant spec ``NAME[:key=value,...]``.
 
     Keys ``stage``, ``resolver``, ``kernel_bugs``, and ``device`` set the
     corresponding variant fields; every other key is a preprocess override
     (integer-looking values are converted, as with ``validate --bug``).
     Commas inside brackets do not split pairs, so normalization names like
-    ``[0,1]`` pass through intact.
+    ``[0,1]`` pass through intact. ``check=False`` skips field validation —
+    used when a sweep pre-flight will lint the variant instead, turning a
+    bad field into a skipped-variant diagnostic rather than a parse error.
     """
     name, _, rest = spec.partition(":")
     name = name.strip()
@@ -174,7 +180,8 @@ def parse_variant_spec(spec: str) -> SweepVariant:
         else:
             overrides[key] = coerce_override_value(key, value)
     variant = SweepVariant(name=name, overrides=overrides, **fields)
-    variant.check()
+    if check:
+        variant.check()
     return variant
 
 
@@ -199,7 +206,8 @@ def parse_backends(spec: str | list[str] | tuple[str, ...]) -> list[str]:
     for name in names:
         if name != "auto" and name not in RESOLVERS:
             raise ValidationError(
-                f"unknown backend {name!r}; "
+                f"unknown backend {name!r}"
+                f"{did_you_mean(name, [*RESOLVERS, 'auto', 'all'])}; "
                 f"available: {sorted(RESOLVERS)} (or 'auto', 'all')")
     return names
 
@@ -243,11 +251,16 @@ DEFAULT_IMAGE_VARIANTS = (
 
 def plan_variants(
     variants: list[SweepVariant] | tuple[SweepVariant, ...] | None,
+    *,
+    check: bool = True,
 ) -> list[SweepVariant]:
     """Validate a sweep lineup: non-empty, unique names, fields in range.
 
     ``None`` selects :data:`DEFAULT_IMAGE_VARIANTS`. Returns the lineup as
-    a list in its original order (the report order).
+    a list in its original order (the report order). ``check=False`` skips
+    the per-variant field validation (lineup structure only) — the seam
+    the sweep pre-flight uses, since it wants to *report* bad fields as
+    skipped-variant diagnostics rather than raise on the first one.
     """
     if variants is None:
         variants = DEFAULT_IMAGE_VARIANTS
@@ -258,8 +271,9 @@ def plan_variants(
     dupes = sorted({n for n in names if names.count(n) > 1})
     if dupes:
         raise ValidationError(f"duplicate variant name(s): {dupes}")
-    for variant in variants:
-        variant.check()
+    if check:
+        for variant in variants:
+            variant.check()
     return variants
 
 

@@ -105,9 +105,22 @@ class TestSweep:
         assert code == 2
         assert "v:oops" in capsys.readouterr().err
 
-    def test_unknown_override_key_exits_cleanly(self, capsys):
+    def test_unknown_override_key_preflighted_to_skip(self):
+        # The pre-flight lint catches the typo'd key statically: the variant
+        # lands in the report as SKIPPED with its diagnostic instead of
+        # aborting the whole sweep (or burning a worker on a doomed run).
+        code, text = run_cli("sweep", "micro_mobilenet_v1", "--frames", "4",
+                             "--executor", "process",
+                             "--variant", "clean",
+                             "--variant", "typo:chanel_order=bgr")
+        assert code == 1
+        assert "SKIPPED" in text
+        assert "S004" in text and "chanel_order" in text
+        assert "did you mean 'channel_order'" in text
+
+    def test_no_preflight_restores_raise_on_bad_key(self, capsys):
         code, _ = run_cli("sweep", "micro_mobilenet_v1", "--frames", "4",
-                          "--executor", "process",
+                          "--executor", "process", "--no-preflight",
                           "--variant", "typo:chanel_order=bgr")
         assert code == 2
         assert "chanel_order" in capsys.readouterr().err

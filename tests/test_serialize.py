@@ -1,11 +1,14 @@
 """Model serialization round-trips and failure modes."""
 
+import io
+import json
+
 import numpy as np
 import pytest
 
 from repro.graph import graph_from_bytes, graph_to_bytes, load_model, save_model
 from repro.runtime import Interpreter
-from repro.util.errors import GraphError
+from repro.util.errors import GraphError, ValidationError
 
 
 class TestRoundTrip:
@@ -59,23 +62,86 @@ class TestRoundTrip:
                 assert isinstance(node.attrs["paddings"], tuple)
 
 
+def _repack(payload: bytes, mutate) -> bytes:
+    """Re-serialize a model payload after ``mutate(doc)`` corrupts it."""
+    with np.load(io.BytesIO(payload)) as data:
+        doc = json.loads(bytes(data["__graph__"]).decode())
+        arrays = {k: data[k] for k in data.files if k != "__graph__"}
+    mutate(doc)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, __graph__=np.frombuffer(
+        json.dumps(doc).encode(), dtype=np.uint8), **arrays)
+    return buffer.getvalue()
+
+
 class TestFailureModes:
     def test_garbage_bytes_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValidationError, match="malformed model file"):
             graph_from_bytes(b"not a model")
 
     def test_version_check(self, small_cnn):
-        import io
-        import json
-
-        import numpy as np
-        payload = graph_to_bytes(small_cnn)
-        with np.load(io.BytesIO(payload)) as data:
-            doc = json.loads(bytes(data["__graph__"]).decode())
-            arrays = {k: data[k] for k in data.files if k != "__graph__"}
-        doc["format_version"] = 999
-        buffer = io.BytesIO()
-        np.savez_compressed(buffer, __graph__=np.frombuffer(
-            json.dumps(doc).encode(), dtype=np.uint8), **arrays)
+        payload = _repack(graph_to_bytes(small_cnn),
+                          lambda doc: doc.update(format_version=999))
         with pytest.raises(GraphError):
-            graph_from_bytes(buffer.getvalue())
+            graph_from_bytes(payload)
+
+
+class TestCorruptDocuments:
+    """Regression: malformed documents name the offending field path
+    (ValidationError) instead of leaking a bare KeyError from the loader."""
+
+    def test_missing_top_level_field(self, small_cnn):
+        payload = _repack(graph_to_bytes(small_cnn),
+                          lambda doc: doc.pop("nodes"))
+        with pytest.raises(ValidationError, match="missing field 'nodes'"):
+            graph_from_bytes(payload)
+
+    def test_missing_node_field_names_index(self, small_cnn):
+        payload = _repack(graph_to_bytes(small_cnn),
+                          lambda doc: doc["nodes"][2].pop("op"))
+        with pytest.raises(ValidationError,
+                           match=r"missing field 'nodes\[2\].op'"):
+            graph_from_bytes(payload)
+
+    def test_missing_tensor_field_names_index(self, small_cnn):
+        payload = _repack(graph_to_bytes(small_cnn),
+                          lambda doc: doc["tensors"][0].pop("shape"))
+        with pytest.raises(ValidationError, match=r"tensors\[0\]"):
+            graph_from_bytes(payload)
+
+    def test_missing_weight_quant_field_names_key(self, small_cnn_quantized):
+        def drop_scale(doc):
+            for njson in doc["nodes"]:
+                for q in njson["weight_quant"].values():
+                    q.pop("scale")
+                    return
+        payload = _repack(graph_to_bytes(small_cnn_quantized), drop_scale)
+        with pytest.raises(ValidationError, match=r"weight_quant\['"):
+            graph_from_bytes(payload)
+
+    def test_non_mapping_node_rejected(self, small_cnn):
+        def replace(doc):
+            doc["nodes"][0] = "not a node"
+        payload = _repack(graph_to_bytes(small_cnn), replace)
+        with pytest.raises(ValidationError, match="should be a mapping"):
+            graph_from_bytes(payload)
+
+    def test_missing_weight_array_stays_graph_error(self, small_cnn):
+        # A well-formed document whose array entry vanished is a structural
+        # problem, not a malformed document.
+        def add_key(doc):
+            doc["nodes"][0]["weight_keys"].append("phantom")
+        payload = _repack(graph_to_bytes(small_cnn), add_key)
+        with pytest.raises(GraphError, match="phantom"):
+            graph_from_bytes(payload)
+
+    def test_load_model_prefixes_path(self, small_cnn, tmp_path):
+        path = tmp_path / "broken.rpm"
+        path.write_bytes(_repack(graph_to_bytes(small_cnn),
+                                 lambda doc: doc.pop("outputs")))
+        with pytest.raises(ValidationError, match="broken.rpm"):
+            load_model(path)
+
+    def test_load_model_unreadable_path(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read model file"):
+            load_model(tmp_path / "absent.rpm")

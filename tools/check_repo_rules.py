@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Repo-level AST lint: conventions the test suite can't see.
+
+Currently one rule: kernel modules must never reach into ``numpy.random``
+directly.  Kernels are supposed to be pure array transforms — any randomness
+(dropout masks, fault injection, noise models) has to flow through
+``repro.util.rng`` so sweeps stay reproducible under a single seed.  A stray
+``np.random.normal(...)`` inside a kernel silently breaks run-to-run parity,
+which is exactly the class of bug this repo exists to catch in *other*
+people's deployments.
+
+Stdlib only (``ast``) so CI can run it before any dependency install.
+
+Usage::
+
+    python tools/check_repo_rules.py [root ...]
+
+Exits 1 and prints ``path:line: message`` for every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+KERNEL_ROOT = Path("src/repro/kernels")
+SANCTIONED = "repro.util.rng"
+
+
+def check_source(path: str, text: str) -> list[tuple[str, int, str]]:
+    """Return ``(path, line, message)`` for every numpy.random use."""
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"cannot parse: {exc.msg}")]
+
+    violations: list[tuple[str, int, str]] = []
+    numpy_aliases: set[str] = set()
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name.startswith("numpy.random"):
+                    violations.append((path, node.lineno,
+                                       f"imports {alias.name}; use "
+                                       f"{SANCTIONED} instead"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        violations.append((path, node.lineno,
+                                           "imports numpy.random; use "
+                                           f"{SANCTIONED} instead"))
+            elif module.startswith("numpy.random"):
+                violations.append((path, node.lineno,
+                                   f"imports from {module}; use "
+                                   f"{SANCTIONED} instead"))
+
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute) and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in numpy_aliases):
+            violations.append((path, node.lineno,
+                               f"calls {node.value.id}.random directly; "
+                               f"use {SANCTIONED} instead"))
+    return sorted(violations, key=lambda v: v[1])
+
+
+def check_tree(root: Path) -> list[tuple[str, int, str]]:
+    violations: list[tuple[str, int, str]] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_source(str(path), path.read_text()))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = [Path(p) for p in (argv if argv is not None else sys.argv[1:])]
+    if not roots:
+        roots = [KERNEL_ROOT]
+    missing = [r for r in roots if not r.exists()]
+    if missing:
+        print(f"check_repo_rules: no such directory: {missing[0]}",
+              file=sys.stderr)
+        return 2
+    violations = [v for root in roots for v in check_tree(root)]
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}")
+    if violations:
+        print(f"check_repo_rules: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    checked = sum(1 for root in roots for _ in root.rglob("*.py"))
+    print(f"check_repo_rules: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
