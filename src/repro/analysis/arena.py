@@ -1,0 +1,270 @@
+"""Static arena planning: pack non-interfering tensors into one buffer.
+
+An :class:`ArenaLayout` assigns every activation tensor a static byte
+offset in a single preallocated arena, sized so that any two tensors that
+are ever simultaneously live occupy disjoint byte ranges — the TFLite-style
+static memory plan the ROADMAP's arena item asks for, with the plan-refcount
+consistency rule (P002) as its safety precondition.
+
+The packer is greedy first-fit over tensors in decreasing size order; the
+interesting part is the **independent verifier**: :func:`verify_layout`
+re-derives liveness from the graph alone (never from the plan that produced
+the layout) and proves that no two overlapping live ranges share
+overlapping byte ranges, that every slot matches its spec's size, and that
+everything fits inside the declared arena. A layout is only trusted when
+the verifier returns no findings; rule A001 surfaces the same check through
+``repro lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.liveness import (
+    LiveRange,
+    liveness_from_graph,
+    liveness_from_plan,
+    peak_live_bytes,
+)
+from repro.graph.graph import Graph
+from repro.util.errors import ValidationError
+
+ARENA_SCHEMA_VERSION = 1
+"""Version of the ArenaLayout JSON wire format."""
+
+ALIGNMENT = 16
+"""Byte alignment of every slot offset (typical edge-runtime requirement)."""
+
+
+@dataclass(frozen=True)
+class ArenaSlot:
+    """One tensor's static placement: offset, size, and live interval."""
+
+    tensor: str
+    offset: int
+    nbytes: int
+    start: int
+    end: int
+
+    def to_doc(self) -> dict:
+        return {"tensor": self.tensor, "offset": self.offset,
+                "nbytes": self.nbytes, "start": self.start, "end": self.end}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ArenaSlot":
+        for fieldname in ("tensor", "offset", "nbytes", "start", "end"):
+            if fieldname not in doc:
+                raise ValidationError(
+                    f"malformed arena-slot document: missing field "
+                    f"{fieldname!r}")
+        return cls(tensor=doc["tensor"], offset=int(doc["offset"]),
+                   nbytes=int(doc["nbytes"]), start=int(doc["start"]),
+                   end=int(doc["end"]))
+
+
+@dataclass
+class ArenaLayout:
+    """A complete static memory plan for one graph at one batch size."""
+
+    graph: str
+    batch: int
+    slots: tuple[ArenaSlot, ...]
+    arena_bytes: int
+
+    @property
+    def naive_bytes(self) -> int:
+        """Total bytes if every tensor got its own buffer (no reuse)."""
+        return sum(slot.nbytes for slot in self.slots)
+
+    def slot(self, tensor: str) -> ArenaSlot:
+        for s in self.slots:
+            if s.tensor == tensor:
+                return s
+        raise ValidationError(
+            f"arena layout for {self.graph!r} has no slot for {tensor!r}")
+
+    # ------------------------------------------------------------ wire format
+    def to_doc(self) -> dict:
+        return {
+            "schema_version": ARENA_SCHEMA_VERSION,
+            "graph": self.graph,
+            "batch": self.batch,
+            "arena_bytes": self.arena_bytes,
+            "naive_bytes": self.naive_bytes,
+            "slots": [s.to_doc() for s in self.slots],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ArenaLayout":
+        version = doc.get("schema_version")
+        if version != ARENA_SCHEMA_VERSION:
+            raise ValidationError(
+                f"arena-layout document has schema version {version!r}; "
+                f"this reader understands version {ARENA_SCHEMA_VERSION}")
+        for fieldname in ("graph", "batch", "arena_bytes", "slots"):
+            if fieldname not in doc:
+                raise ValidationError(
+                    f"malformed arena-layout document: missing field "
+                    f"{fieldname!r}")
+        return cls(graph=doc["graph"], batch=int(doc["batch"]),
+                   slots=tuple(ArenaSlot.from_doc(s) for s in doc["slots"]),
+                   arena_bytes=int(doc["arena_bytes"]))
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def pack_arena(graph: Graph, plan=None, batch: int = 1) -> ArenaLayout:
+    """Greedy first-fit packing of live ranges into static offsets.
+
+    With a plan, live ranges come from the plan's own schedule/refcounts
+    (what the runtime will actually do); without one, from the graph.
+    Either way the result must pass :func:`verify_layout` — which always
+    re-derives from the graph — before anything trusts it.
+    """
+    ranges = liveness_from_plan(plan, batch) if plan is not None \
+        else liveness_from_graph(graph, batch)
+    order = sorted(ranges.values(),
+                   key=lambda r: (-r.nbytes, r.start, r.tensor))
+    placed: list[ArenaSlot] = []
+    by_tensor: dict[str, ArenaSlot] = {}
+    for r in order:
+        blockers = sorted(
+            (s for s in placed if r.overlaps(ranges[s.tensor])),
+            key=lambda s: s.offset)
+        offset = 0
+        for s in blockers:
+            if _align(offset) + r.nbytes <= s.offset:
+                break
+            offset = max(offset, s.offset + s.nbytes)
+        slot = ArenaSlot(tensor=r.tensor, offset=_align(offset),
+                         nbytes=r.nbytes, start=r.start, end=r.end)
+        placed.append(slot)
+        by_tensor[r.tensor] = slot
+    arena_bytes = max((s.offset + s.nbytes for s in placed), default=0)
+    slots = tuple(by_tensor[t] for t in sorted(
+        by_tensor, key=lambda t: (by_tensor[t].start, t)))
+    return ArenaLayout(graph=graph.name, batch=batch, slots=slots,
+                       arena_bytes=arena_bytes)
+
+
+def verify_layout(graph: Graph, layout: ArenaLayout,
+                  batch: int | None = None) -> list[Diagnostic]:
+    """Independently prove an arena layout sound against its graph.
+
+    Re-derives liveness from the graph alone, then checks that the slot set
+    covers exactly the graph's tensors, that sizes and live intervals match
+    the re-derivation, that every slot fits inside the declared arena, and
+    that no two tensors with overlapping live ranges overlap in bytes.
+    Returns one A001 diagnostic per violation; an empty list is the proof.
+    """
+    from repro.analysis.registry import make_diagnostic
+
+    def finding(message: str, *, tensor: str | None = None,
+                evidence: dict | None = None) -> Diagnostic:
+        return make_diagnostic("A001", message, graph=graph.name,
+                               tensor=tensor, evidence=evidence)
+
+    problems: list[Diagnostic] = []
+    if layout.graph != graph.name:
+        problems.append(finding(
+            f"layout was planned for graph {layout.graph!r}, not "
+            f"{graph.name!r}",
+            evidence={"layout_graph": layout.graph, "graph": graph.name}))
+    batch = layout.batch if batch is None else batch
+    derived = liveness_from_graph(graph, batch)
+    slots = {s.tensor: s for s in layout.slots}
+    for t in sorted(set(derived) - set(slots)):
+        problems.append(finding(
+            f"tensor {t!r} has no arena slot; the runtime would have "
+            "nowhere to materialize it",
+            tensor=t, evidence={"missing": t}))
+    for t in sorted(set(slots) - set(derived)):
+        problems.append(finding(
+            f"slot for {t!r} names a tensor the graph does not have",
+            tensor=t, evidence={"extra": t}))
+    for t in sorted(set(slots) & set(derived)):
+        slot, want = slots[t], derived[t]
+        if slot.nbytes != want.nbytes:
+            problems.append(finding(
+                f"slot for {t!r} is {slot.nbytes} B but the spec needs "
+                f"{want.nbytes} B at batch {batch}",
+                tensor=t,
+                evidence={"slot_bytes": slot.nbytes,
+                          "spec_bytes": want.nbytes, "batch": batch}))
+        if (slot.start, slot.end) != (want.start, want.end):
+            problems.append(finding(
+                f"slot for {t!r} records live interval [{slot.start}, "
+                f"{slot.end}] but the graph derives [{want.start}, "
+                f"{want.end}]",
+                tensor=t,
+                evidence={"recorded": [slot.start, slot.end],
+                          "derived": [want.start, want.end]}))
+        if slot.offset < 0 or slot.offset + slot.nbytes > layout.arena_bytes:
+            problems.append(finding(
+                f"slot for {t!r} ([{slot.offset}, "
+                f"{slot.offset + slot.nbytes}) B) escapes the "
+                f"{layout.arena_bytes}-byte arena",
+                tensor=t,
+                evidence={"offset": slot.offset, "nbytes": slot.nbytes,
+                          "arena_bytes": layout.arena_bytes}))
+    # The core soundness theorem: simultaneously-live tensors are disjoint
+    # in bytes. Liveness comes from `derived`, never from the slots.
+    names = sorted(set(slots) & set(derived))
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if not derived[a].overlaps(derived[b]):
+                continue
+            sa, sb = slots[a], slots[b]
+            if sa.offset < sb.offset + sb.nbytes and \
+                    sb.offset < sa.offset + sa.nbytes and \
+                    sa.nbytes > 0 and sb.nbytes > 0:
+                problems.append(finding(
+                    f"tensors {a!r} and {b!r} are simultaneously live "
+                    f"(steps [{max(derived[a].start, derived[b].start)}, "
+                    f"{min(derived[a].end, derived[b].end)}]) but their "
+                    f"byte ranges overlap",
+                    tensor=a,
+                    evidence={
+                        "a": {"tensor": a, "offset": sa.offset,
+                              "nbytes": sa.nbytes},
+                        "b": {"tensor": b, "offset": sb.offset,
+                              "nbytes": sb.nbytes},
+                    }))
+    return problems
+
+
+def corrupt_layout_for_test(layout: ArenaLayout) -> ArenaLayout:
+    """Return a copy with two interfering slots forced to collide.
+
+    Test/demo helper: injects exactly the offset-collision defect
+    :func:`verify_layout` exists to catch.
+    """
+    ranges = {s.tensor: LiveRange(s.tensor, s.start, s.end, s.nbytes)
+              for s in layout.slots}
+    slots = list(layout.slots)
+    for i, a in enumerate(slots):
+        for b in slots[i + 1:]:
+            if a.nbytes and b.nbytes and ranges[a.tensor].overlaps(
+                    ranges[b.tensor]):
+                slots[i] = replace(a, offset=b.offset)
+                return ArenaLayout(graph=layout.graph, batch=layout.batch,
+                                   slots=tuple(slots),
+                                   arena_bytes=layout.arena_bytes)
+    raise ValidationError(
+        f"layout for {layout.graph!r} has no pair of interfering slots "
+        "to collide (single-tensor graph?)")
+
+
+__all__ = [
+    "ALIGNMENT",
+    "ARENA_SCHEMA_VERSION",
+    "ArenaLayout",
+    "ArenaSlot",
+    "corrupt_layout_for_test",
+    "pack_arena",
+    "peak_live_bytes",
+    "verify_layout",
+]

@@ -27,6 +27,31 @@ LINT_SCHEMA_VERSION = 1
 """Version of the Diagnostic/LintReport JSON wire format."""
 
 
+def jsonable_evidence(value):
+    """Canonicalize an evidence value to JSON-native types, recursively.
+
+    Rules hand in whatever they computed — numpy scalars, arrays, tuples,
+    non-string dict keys — and the wire format promises ``json.dumps`` will
+    accept the result, so the translation happens once, at construction,
+    instead of hoping every ``to_doc`` consumer copes.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): jsonable_evidence(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable_evidence(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return jsonable_evidence(value.tolist())
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
 def severity_rank(severity: str) -> int:
     """Map a severity name to its rank; raise on unknown names."""
     try:
@@ -73,6 +98,9 @@ class Diagnostic:
 
     def __post_init__(self) -> None:
         severity_rank(self.severity)  # reject unknown severities early
+        # Canonicalize evidence so numpy scalars/arrays survive json.dumps
+        # (the dataclass is frozen; bypass the guard as dataclasses do).
+        object.__setattr__(self, "evidence", jsonable_evidence(self.evidence))
 
     @property
     def where(self) -> str:

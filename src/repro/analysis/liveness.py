@@ -1,0 +1,151 @@
+"""Per-tensor live intervals and the interference graph they induce.
+
+The interpreter's reference-counted activation arena gives every tensor a
+life span over the plan's topological schedule: a tensor is born when its
+producer runs (graph inputs are born before node 0), and dies after its
+last consumer runs (graph outputs never die — the keep set). Because the
+interpreter allocates a node's output *before* freeing its inputs, a
+node's inputs and its output are simultaneously live: live ranges are
+closed intervals, and two tensors interfere iff their intervals overlap.
+
+Two independent derivations are provided on purpose:
+
+* :func:`liveness_from_plan` replays the plan's own schedule and
+  ``initial_refcounts`` — what the runtime will actually do (P002 verifies
+  those refcounts against the graph);
+* :func:`liveness_from_graph` re-derives everything from the graph alone —
+  what the arena verifier (:func:`~repro.analysis.arena.verify_layout`)
+  uses, so a corrupted plan cannot vouch for its own layout.
+
+:func:`check_liveness_consistency` cross-checks the two, the same
+relationship rule P002 establishes for the raw refcounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """One tensor's life span over the node schedule.
+
+    ``start`` is the producing node index (-1 for graph inputs); ``end`` is
+    the index of the last consuming node, or ``len(nodes)`` for graph
+    outputs (kept alive past the last node). A produced-but-never-consumed
+    tensor dies where it is born.
+    """
+
+    tensor: str
+    start: int
+    end: int
+    nbytes: int
+
+    def overlaps(self, other: "LiveRange") -> bool:
+        """Whether the two closed live intervals intersect."""
+        return self.start <= other.end and other.start <= self.end
+
+
+def liveness_from_graph(graph: Graph, batch: int = 1) -> dict[str, LiveRange]:
+    """Derive live ranges from the graph alone (no plan involved)."""
+    start: dict[str, int] = {t: -1 for t in graph.inputs}
+    end: dict[str, int] = {}
+    for index, node in enumerate(graph.nodes):
+        for t in node.inputs:
+            end[t] = index
+        for t in node.outputs:
+            start[t] = index
+    horizon = len(graph.nodes)
+    ranges: dict[str, LiveRange] = {}
+    outputs = set(graph.outputs)
+    for t, born in start.items():
+        died = horizon if t in outputs else end.get(t, born)
+        ranges[t] = LiveRange(tensor=t, start=born, end=died,
+                              nbytes=graph.spec(t).nbytes(batch))
+    return ranges
+
+
+def liveness_from_plan(plan, batch: int = 1) -> dict[str, LiveRange]:
+    """Replay a plan's schedule and refcounts into live ranges.
+
+    This trusts the plan the way the interpreter does: a refcount overcount
+    keeps the tensor live to the end of the schedule (the leak P002 warns
+    about), an undercount ends its range at the node that drained it.
+    """
+    graph = plan.graph
+    refcounts = dict(plan.initial_refcounts)
+    start: dict[str, int] = {t: -1 for t in graph.inputs}
+    end: dict[str, int] = {}
+    keep = set(plan.keep)
+    for binding in plan.bindings:
+        node = binding.node
+        for t in node.outputs:
+            start[t] = binding.index
+        for t in node.inputs:
+            refcounts[t] = refcounts.get(t, 0) - 1
+            if refcounts[t] == 0 and t not in keep:
+                end[t] = binding.index
+    horizon = len(plan.bindings)
+    ranges: dict[str, LiveRange] = {}
+    for t, born in start.items():
+        if t in keep or refcounts.get(t, 0) > 0:
+            died = horizon
+        else:
+            died = end.get(t, born)
+        ranges[t] = LiveRange(tensor=t, start=born, end=died,
+                              nbytes=graph.spec(t).nbytes(batch))
+    return ranges
+
+
+def interference_graph(
+    ranges: dict[str, LiveRange]
+) -> dict[str, set[str]]:
+    """Adjacency: tensors whose live ranges overlap must not share bytes."""
+    names = sorted(ranges)
+    adjacency: dict[str, set[str]] = {t: set() for t in names}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if ranges[a].overlaps(ranges[b]):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return adjacency
+
+
+def peak_live_bytes(ranges: dict[str, LiveRange]) -> int:
+    """Max bytes simultaneously live — the lower bound any arena must meet."""
+    if not ranges:
+        return 0
+    peak = 0
+    steps = range(min(r.start for r in ranges.values()),
+                  max(r.end for r in ranges.values()) + 1)
+    for step in steps:
+        live = sum(r.nbytes for r in ranges.values()
+                   if r.start <= step <= r.end)
+        peak = max(peak, live)
+    return peak
+
+
+def check_liveness_consistency(graph: Graph, plan,
+                               batch: int = 1) -> list[str]:
+    """Cross-check plan-derived live ranges against graph-derived ones.
+
+    Returns human-readable mismatch descriptions (empty means consistent —
+    the P002 relationship extended from refcounts to whole live ranges).
+    """
+    from_graph = liveness_from_graph(graph, batch)
+    from_plan = liveness_from_plan(plan, batch)
+    problems: list[str] = []
+    for t in sorted(set(from_graph) | set(from_plan)):
+        a, b = from_graph.get(t), from_plan.get(t)
+        if a is None or b is None:
+            problems.append(
+                f"tensor {t!r} is known to "
+                f"{'the plan only' if a is None else 'the graph only'}")
+        elif (a.start, a.end, a.nbytes) != (b.start, b.end, b.nbytes):
+            problems.append(
+                f"tensor {t!r}: graph derives [{a.start}, {a.end}] "
+                f"({a.nbytes} B), plan derives [{b.start}, {b.end}] "
+                f"({b.nbytes} B)")
+    return problems

@@ -16,9 +16,13 @@ a rule cannot drift from its registration. A rule may *downgrade* a finding
 (e.g. a mostly-error rule emitting one advisory) by passing ``severity=``.
 
 :func:`lint_graph` runs the registered rules in category order (graph →
-quant → plan → pipeline). Plan rules are skipped when the graph analyzer
-found structural errors — compiling a plan for a miswired graph would only
-produce noise after the real finding.
+quant → dataflow → plan → arena → pipeline). Dataflow, plan, and arena
+rules are skipped when the graph analyzer found structural errors —
+interpreting or compiling a miswired graph would only produce noise after
+the real finding. Dataflow (D) and arena (A) rules consume the abstract
+interpreter in :mod:`repro.analysis.dataflow` via
+:meth:`RuleContext.get_ranges`, so their findings are proofs over every
+reachable input, not heuristics.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from dataclasses import dataclass, field
 from repro.analysis.diagnostics import Diagnostic, LintReport
 from repro.util.errors import ValidationError, did_you_mean
 
-CATEGORIES = ("graph", "quant", "plan", "pipeline")
+CATEGORIES = ("graph", "quant", "dataflow", "plan", "arena", "pipeline")
 """Analyzer families, in the order the driver runs them."""
 
 
@@ -52,6 +56,7 @@ class RuleContext:
     plan: object | None = None
     _producers: dict | None = field(default=None, repr=False)
     _consumers: dict | None = field(default=None, repr=False)
+    _ranges: object | None = field(default=None, repr=False)
     _rule: "LintRule | None" = field(default=None, repr=False)
 
     @property
@@ -82,6 +87,19 @@ class RuleContext:
 
             self.plan = compile_plan(self.graph, self.get_resolver())
         return self.plan
+
+    def get_ranges(self):
+        """Abstract-interpretation range facts for the graph, built once.
+
+        All dataflow rules share one :class:`~repro.analysis.dataflow.
+        RangeFacts` so the (cheap but not free) fixed forward pass runs at
+        most once per lint invocation.
+        """
+        if self._ranges is None:
+            from repro.analysis.dataflow import analyze_ranges
+
+            self._ranges = analyze_ranges(self.graph)
+        return self._ranges
 
     def diag(self, message: str, *, node: str | None = None,
              tensor: str | None = None, evidence: dict | None = None,
@@ -155,6 +173,7 @@ def _ensure_rules() -> None:
     global _RULES_LOADED
     if _RULES_LOADED:
         return
+    import repro.analysis.dataflow_rules  # noqa: F401
     import repro.analysis.graph_rules  # noqa: F401
     import repro.analysis.pipeline_rules  # noqa: F401
     import repro.analysis.plan_rules  # noqa: F401
@@ -166,6 +185,34 @@ def rule_catalog() -> list[LintRule]:
     """All registered rules, id-ordered (the README/--help catalog)."""
     _ensure_rules()
     return [RULES[rid] for rid in sorted(RULES)]
+
+
+def explain_rule(rule_id: str) -> str:
+    """Human-readable explanation of one rule (``repro lint --explain``).
+
+    Returns the rule's id, title, severity, category, and full docstring;
+    raises :class:`~repro.util.errors.ValidationError` with a did-you-mean
+    suggestion on unknown ids.
+    """
+    _ensure_rules()
+    try:
+        rule = RULES[rule_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown lint rule id {rule_id!r}"
+            f"{did_you_mean(rule_id, RULES)}; "
+            f"available: {', '.join(sorted(RULES))}") from None
+    lines = [
+        f"{rule.rule_id}: {rule.title}",
+        f"  severity: {rule.severity}",
+        f"  category: {rule.category}",
+    ]
+    text = (rule.fn.__doc__ or "").strip()
+    if text:
+        lines.append("")
+        for raw in text.splitlines():
+            lines.append(f"  {raw.strip()}" if raw.strip() else "")
+    return "\n".join(lines)
 
 
 def make_diagnostic(rule_id: str, message: str, *, graph: str | None = None,
@@ -244,7 +291,7 @@ def lint_graph(
     for category in CATEGORIES:
         if category not in selected:
             continue
-        if category == "plan" and structural_errors:
+        if category in ("dataflow", "plan", "arena") and structural_errors:
             continue  # a miswired graph cannot compile; G-rules said why
         for rule_id in sorted(RULES):
             rule = RULES[rule_id]

@@ -7,6 +7,8 @@ its operational surface::
     python -m repro export micro_mobilenet_v2 --stage quantized -o v2.rpm
     python -m repro lint micro_mobilenet_v2 --stage quantized
     python -m repro lint v2.rpm --backend batched --format json
+    python -m repro lint --explain D001
+    python -m repro analyze micro_mobilenet_v1 --stage quantized --arena
     python -m repro validate micro_mobilenet_v2 --bug channel_order=bgr
     python -m repro sweep micro_mobilenet_v2 --variant clean \
         --variant bgr:channel_order=bgr --variant q:stage=quantized
@@ -21,8 +23,13 @@ its operational surface::
 
 ``lint`` runs the static analyzer (:mod:`repro.analysis`) over a zoo model
 or an exported ``.rpm`` file — graph wiring, quantization parameters,
-backend/plan bindings, pipeline metadata — and exits 1 when findings at or
-above ``--fail-on`` severity exist (the CI gate). The same rules pre-vet
+dataflow proofs, backend/plan bindings, pipeline metadata — and exits 1
+when findings at or above ``--fail-on`` severity exist (the CI gate).
+``analyze`` runs the dataflow analyses on their own: per-tensor value
+ranges from the interval abstract interpreter, per-tensor live ranges, and
+peak activation memory under naive allocation vs a packed static arena
+(``--arena`` also runs the independent layout verifier, the CI zoo gate).
+Both take ``--explain RULE_ID`` to document any registered rule. The same rules pre-vet
 every ``sweep`` lineup: statically-doomed variants are reported as
 ``skipped`` with their diagnostics instead of burning a worker
 (``--no-preflight`` restores raise-on-bad-field behaviour).
@@ -49,7 +56,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.analysis import SEVERITIES, lint_graph
+from repro.analysis import SEVERITIES, analyze_graph, explain_rule, lint_graph
 from repro.graph import load_model, save_model
 from repro.instrument import DirectorySink, EXrayLog, MLEXray, log_digest
 from repro.perfmodel import DEVICES
@@ -107,17 +114,27 @@ def cmd_export(args, out) -> int:
     return 0
 
 
+def _load_lint_target(args):
+    """Resolve the lint/analyze positional: a zoo model name or a .rpm path."""
+    if args.model is None:
+        raise ValidationError(
+            f"repro {args.command} needs a model (a zoo name or a .rpm "
+            "path) unless --explain RULE_ID is given")
+    path = Path(args.model)
+    if path.suffix == ".rpm" or path.is_file():
+        return load_model(path), str(path)
+    return get_model(args.model, stage=args.stage), \
+        f"{args.model}:{args.stage}"
+
+
 def cmd_lint(args, out) -> int:
     # `repro lint <model|file.rpm>`: static deployment verification — no
     # data is played back and no kernels run; exit 1 when findings at or
     # above --fail-on severity exist, so CI can gate on it.
-    path = Path(args.model)
-    if path.suffix == ".rpm" or path.is_file():
-        graph = load_model(path)
-        target = str(path)
-    else:
-        graph = get_model(args.model, stage=args.stage)
-        target = f"{args.model}:{args.stage}"
+    if args.explain:
+        print(explain_rule(args.explain), file=out)
+        return 0
+    graph, target = _load_lint_target(args)
     report = lint_graph(graph, backend=args.backend, device=args.device,
                         target=target)
     if args.format == "json":
@@ -125,6 +142,25 @@ def cmd_lint(args, out) -> int:
     else:
         print(report.render(args.fail_on), file=out)
     return 0 if report.ok(args.fail_on) else 1
+
+
+def cmd_analyze(args, out) -> int:
+    # `repro analyze <model|file.rpm>`: the dataflow analyses — per-tensor
+    # value ranges (interval abstract interpretation), live ranges, and
+    # peak activation memory naive vs packed arena. Exit 1 when the range
+    # analysis found contradictions or (--arena) the layout verifier
+    # rejected the packed layout.
+    if args.explain:
+        print(explain_rule(args.explain), file=out)
+        return 0
+    graph, target = _load_lint_target(args)
+    report = analyze_graph(graph, batch=args.batch, arena=args.arena,
+                           target=target)
+    if args.format == "json":
+        print(json.dumps(report.to_doc(), indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_train(args, out) -> int:
@@ -429,7 +465,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint", help="statically verify a model graph/plan/deployment")
-    p.add_argument("model", help="zoo model name, or a .rpm model file path")
+    p.add_argument("model", nargs="?",
+                   help="zoo model name, or a .rpm model file path")
     p.add_argument("--stage", default="mobile",
                    choices=("checkpoint", "mobile", "quantized"),
                    help="deployment stage to lint (zoo models only; a .rpm "
@@ -446,6 +483,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on", default="error", choices=SEVERITIES,
                    help="lowest severity that makes the lint fail (exit 1); "
                         "default: error")
+    p.add_argument("--explain", default=None, metavar="RULE_ID",
+                   help="print a rule's title, severity, category, and "
+                        "documentation (e.g. --explain Q004) and exit")
+
+    p = sub.add_parser(
+        "analyze",
+        help="dataflow analysis: value ranges, liveness, arena memory")
+    p.add_argument("model", nargs="?",
+                   help="zoo model name, or a .rpm model file path")
+    p.add_argument("--stage", default="mobile",
+                   choices=("checkpoint", "mobile", "quantized"),
+                   help="deployment stage to analyze (zoo models only; a "
+                        ".rpm file already is a stage)")
+    p.add_argument("--batch", type=int, default=1,
+                   help="batch size the liveness/memory analysis assumes "
+                        "(default: 1)")
+    p.add_argument("--arena", action="store_true",
+                   help="also pack a static arena layout and run the "
+                        "independent soundness verifier over it")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="text report or the versioned AnalysisReport JSON")
+    p.add_argument("--explain", default=None, metavar="RULE_ID",
+                   help="print a rule's title, severity, category, and "
+                        "documentation (e.g. --explain D001) and exit")
 
     p = sub.add_parser("validate",
                        help="edge-vs-reference deployment validation")
@@ -573,6 +634,7 @@ COMMANDS = {
     "list-models": cmd_list_models,
     "export": cmd_export,
     "lint": cmd_lint,
+    "analyze": cmd_analyze,
     "train": cmd_train,
     "validate": cmd_validate,
     "sweep": cmd_sweep,

@@ -238,6 +238,15 @@ def quantize_graph(
                       "symmetric_activations": config.symmetric_activations,
                       "per_channel_weights": config.per_channel_weights,
                       "calibration_mode": config.calibration_mode,
+                  },
+                  # Observed activation ranges, kept for the static range
+                  # analysis to cross-check against derived reachable
+                  # intervals (rule D004). Body tensor names are preserved
+                  # by this pass, so the keys line up with qgraph tensors.
+                  "calibration_ranges": {
+                      t: [float(obs.min_val), float(obs.max_val)]
+                      for t, obs in observers.items()
+                      if obs.count > 0 and t in tensors
                   }},
     )
     qgraph.validate()

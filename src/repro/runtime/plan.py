@@ -94,9 +94,15 @@ class ExecutionPlan:
         The resolver kind handed to the device cost model ("optimized",
         "reference", or "batched" — the model charges batched as optimized;
         custom resolvers are charged as optimized too).
+    arena:
+        An :class:`~repro.analysis.arena.ArenaLayout` of verified static
+        tensor offsets, or ``None``. Attached by ``compile_plan(...,
+        arena=True)`` / :meth:`attach_arena`; only layouts that pass the
+        independent verifier are ever attached.
     """
 
-    def __init__(self, graph: Graph, resolver: BaseOpResolver):
+    def __init__(self, graph: Graph, resolver: BaseOpResolver,
+                 arena: bool = False):
         self.graph = graph
         self.resolver = resolver
         self.resolver_version = resolver.version
@@ -115,6 +121,30 @@ class ExecutionPlan:
         self.bindings: tuple[NodeBinding, ...] = tuple(
             derive_bindings(graph, resolver))
         self._work_cache: dict[tuple[int, int], NodeWork] = {}
+        self.arena = None
+        if arena:
+            self.attach_arena()
+
+    def attach_arena(self, batch: int = 1):
+        """Pack a static arena layout for this plan and prove it sound.
+
+        The layout is packed from the plan's own schedule/refcounts but
+        only attached after :func:`~repro.analysis.arena.verify_layout`
+        re-derives liveness from the graph and finds nothing — a plan can
+        never vouch for its own memory layout.
+        """
+        from repro.analysis.arena import pack_arena, verify_layout
+        from repro.util.errors import GraphError
+
+        layout = pack_arena(self.graph, self, batch)
+        problems = verify_layout(self.graph, layout)
+        if problems:
+            details = "\n".join(f"  {d.describe()}" for d in problems)
+            raise GraphError(
+                f"arena layout for {self.graph.name!r} failed "
+                f"verification:\n{details}")
+        self.arena = layout
+        return layout
 
     def __len__(self) -> int:
         return len(self.bindings)
@@ -133,6 +163,13 @@ class ExecutionPlan:
         return cached
 
 
-def compile_plan(graph: Graph, resolver: BaseOpResolver) -> ExecutionPlan:
-    """Compile an execution plan for a validated graph and a resolver."""
-    return ExecutionPlan(graph, resolver)
+def compile_plan(graph: Graph, resolver: BaseOpResolver,
+                 *, arena: bool = False) -> ExecutionPlan:
+    """Compile an execution plan for a validated graph and a resolver.
+
+    With ``arena=True`` the plan also carries a verified static arena
+    layout (``plan.arena``) assigning every activation tensor a byte
+    offset, for runtimes that preallocate one buffer instead of
+    refcounting.
+    """
+    return ExecutionPlan(graph, resolver, arena=arena)

@@ -256,6 +256,63 @@ class TestShardedSweep:
         assert not out_dir.exists()  # failed before dirtying out-dir
 
 
+class TestLintAndAnalyze:
+    def test_lint_explain_prints_rule_doc(self):
+        code, text = run_cli("lint", "--explain", "D001")
+        assert code == 0
+        assert text.startswith("D001:")
+        assert "severity: error" in text and "category: dataflow" in text
+
+    def test_explain_unknown_rule_suggests(self, capsys):
+        code, _ = run_cli("analyze", "--explain", "A01")
+        assert code == 2
+        assert "did you mean 'A001'" in capsys.readouterr().err
+
+    def test_lint_without_model_or_explain_rejected(self, capsys):
+        code, _ = run_cli("lint")
+        assert code == 2
+        assert "repro lint" in capsys.readouterr().err
+
+    def test_analyze_text_report(self):
+        code, text = run_cli("analyze", "micro_mobilenet_v1", "--arena")
+        assert code == 0
+        assert "value ranges & liveness: micro_mobilenet_v1:mobile" in text
+        assert "live ranges (step -1.." in text
+        assert "packed arena" in text and "[VERIFIED]" in text
+
+    def test_analyze_json_report(self):
+        import json
+        code, text = run_cli("analyze", "micro_mobilenet_v1",
+                             "--stage", "quantized", "--arena",
+                             "--format", "json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["target"] == "micro_mobilenet_v1:quantized"
+        assert doc["arena_verified"] is True
+        assert doc["arena"]["arena_bytes"] < doc["naive_bytes"]
+        assert doc["contradictions"] == []
+
+    def test_analyze_exported_model_file(self, tmp_path):
+        path = tmp_path / "v1.rpm"
+        run_cli("export", "micro_mobilenet_v1", "-o", str(path))
+        code, text = run_cli("analyze", str(path))
+        assert code == 0
+        assert str(path) in text
+
+    def test_analyze_batch_scales_memory(self):
+        import json
+        _, one = run_cli("analyze", "micro_mobilenet_v1", "--format", "json")
+        _, four = run_cli("analyze", "micro_mobilenet_v1", "--batch", "4",
+                          "--format", "json")
+        assert json.loads(four)["naive_bytes"] == \
+            4 * json.loads(one)["naive_bytes"]
+
+    def test_analyze_unbuildable_stage_exits_two(self, capsys):
+        code, _ = run_cli("analyze", "nnlm_lite", "--stage", "quantized")
+        assert code == 2
+        assert "quantiz" in capsys.readouterr().err.lower()
+
+
 class TestProfile:
     def test_prints_profile_and_total(self):
         code, text = run_cli("profile", "micro_mobilenet_v2",

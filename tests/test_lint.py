@@ -11,6 +11,9 @@ results with diagnostics attached.
 from __future__ import annotations
 
 import copy
+import json
+import re
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -27,6 +30,7 @@ from repro.analysis import (
     severity_rank,
     verify_pass,
 )
+from repro.analysis.arena import corrupt_layout_for_test, pack_arena
 from repro.graph.spec import TensorSpec
 from repro.quantize.params import QuantParams
 from repro.runtime.plan import compile_plan
@@ -152,6 +156,56 @@ def _break_p003(mobile, quantized):
     return mobile, {"categories": ("plan",), "backend": "batched"}
 
 
+def _break_d001(mobile, quantized):
+    # A 200k-deep int8 dense layer provably overflows the int32
+    # accumulator: even one row of 128 * 127 products summed 200k times
+    # exceeds 2**31.
+    node = next(n for n in quantized.nodes if n.op == "dense")
+    w = node.weights["weights"]
+    node.weights["weights"] = np.full((200_000, w.shape[1]), 127, np.int8)
+    return quantized, {"categories": ("dataflow",)}
+
+
+def _break_d002(mobile, quantized):
+    # An absurd output scale makes the requant multiplier so small every
+    # reachable accumulator rounds to the same code: guaranteed saturation.
+    node = next(n for n in quantized.nodes
+                if n.op in ("conv2d", "depthwise_conv2d", "dense"))
+    object.__setattr__(quantized.tensors[node.outputs[0]].quant,
+                       "scale", np.array(1e9))
+    return quantized, {"categories": ("dataflow",)}
+
+
+def _break_d003(mobile, quantized):
+    # Zeroed weights and bias make the stem conv's output provably the
+    # constant 0 — the subgraph below it is constant-foldable.
+    node = next(n for n in mobile.nodes if n.op == "conv2d")
+    node.weights["weights"] = np.zeros_like(node.weights["weights"])
+    if "bias" in node.weights:
+        node.weights["bias"] = np.zeros_like(node.weights["bias"])
+    return mobile, {"categories": ("dataflow",)}
+
+
+def _break_d004(mobile, quantized):
+    # Calibration claims the softmax output lives in [1000, 2000]; the
+    # derived reachable range is inside [0, 1] — provably disjoint.
+    sm = next(n for n in quantized.nodes if n.op == "softmax")
+    quantized.metadata["calibration_ranges"] = {
+        sm.outputs[0]: [1000.0, 2000.0]}
+    return quantized, {"categories": ("dataflow",)}
+
+
+def _break_a001(mobile, quantized):
+    # A plan carrying a deliberately-corrupted arena layout (two live
+    # tensors aliased onto the same bytes) must be rejected by the
+    # independent verifier.
+    resolver = OpResolver()
+    plan = compile_plan(mobile, resolver)
+    plan.arena = corrupt_layout_for_test(pack_arena(mobile, plan))
+    return mobile, {"categories": ("arena",), "resolver": resolver,
+                    "plan": plan}
+
+
 def _break_s001(mobile, quantized):
     mobile.metadata["pipeline"] = {
         "task": "classification",
@@ -191,9 +245,14 @@ BREAKERS = {
     "Q003": _break_q003,
     "Q004": _break_q004,
     "Q005": _break_q005,
+    "D001": _break_d001,
+    "D002": _break_d002,
+    "D003": _break_d003,
+    "D004": _break_d004,
     "P001": _break_p001,
     "P002": _break_p002,
     "P003": _break_p003,
+    "A001": _break_a001,
     "S001": _break_s001,
     "S002": _break_s002,
     "S003": _break_s003,
@@ -225,6 +284,17 @@ class TestRuleCoverage:
         assert {r.rule_id for r in catalog} == set(BREAKERS) | {"S005"}
         for rule in catalog:
             assert rule.doc  # catalog text for README/--help
+
+    def test_readme_catalog_in_sync_with_registry(self):
+        # The README rule-catalog table must list every registered rule id
+        # exactly once, and nothing else — new rules ship with their docs.
+        readme = Path(__file__).resolve().parents[1] / "README.md"
+        rows = re.findall(r"^\| `([A-Z]\d{3})` \|", readme.read_text(),
+                          flags=re.M)
+        registered = sorted(r.rule_id for r in rule_catalog())
+        assert sorted(rows) == registered, (
+            f"README table drifted from the registry: "
+            f"table={sorted(rows)} registry={registered}")
 
     def test_clean_graph_fires_nothing(self, small_cnn_mobile,
                                        small_cnn_quantized):
@@ -292,6 +362,21 @@ class TestWireFormat:
         with pytest.raises(ValidationError, match="severity"):
             Diagnostic.from_doc({"rule": "G001", "category": "graph",
                                  "message": "m"})
+
+    def test_numpy_evidence_survives_json_dumps(self):
+        # Rules naturally attach numpy scalars/arrays as evidence; the
+        # Diagnostic constructor canonicalizes them so the *real*
+        # json.dumps (no default= hook) serializes the document.
+        d = make_diagnostic(
+            "G001", "m",
+            evidence={"f": np.float32(1.5), "i": np.int64(7),
+                      "b": np.bool_(True),
+                      "arr": np.arange(3, dtype=np.int32),
+                      5: (np.float64(0.25),)})
+        text = json.dumps(d.to_doc())
+        back = Diagnostic.from_doc(json.loads(text))
+        assert back.evidence == {"f": 1.5, "i": 7, "b": True,
+                                 "arr": [0, 1, 2], "5": [0.25]}
 
     def test_report_round_trip(self, small_cnn_mobile):
         small_cnn_mobile.nodes[-1].inputs = ["ghost"]

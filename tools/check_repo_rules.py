@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Repo-level AST lint: conventions the test suite can't see.
 
-Currently one rule: kernel modules must never reach into ``numpy.random``
-directly.  Kernels are supposed to be pure array transforms — any randomness
-(dropout masks, fault injection, noise models) has to flow through
-``repro.util.rng`` so sweeps stay reproducible under a single seed.  A stray
-``np.random.normal(...)`` inside a kernel silently breaks run-to-run parity,
-which is exactly the class of bug this repo exists to catch in *other*
-people's deployments.
+Three rules:
+
+* **no-numpy-random** (kernel modules only): kernels must never reach into
+  ``numpy.random`` directly.  Kernels are supposed to be pure array
+  transforms — any randomness (dropout masks, fault injection, noise
+  models) has to flow through ``repro.util.rng`` so sweeps stay
+  reproducible under a single seed.  A stray ``np.random.normal(...)``
+  inside a kernel silently breaks run-to-run parity, which is exactly the
+  class of bug this repo exists to catch in *other* people's deployments.
+* **no-mutable-default** (all of ``src/``): no list/dict/set literals (or
+  comprehensions) as function-argument defaults — the one shared instance
+  mutates across calls, the classic Python footgun.
+* **no-bare-except** (all of ``src/``): ``except:`` with no exception type
+  swallows ``KeyboardInterrupt``/``SystemExit`` and hides real bugs; name
+  the exception (at minimum ``except Exception:``).
 
 Stdlib only (``ast``) so CI can run it before any dependency install.
 
@@ -24,17 +32,16 @@ import ast
 import sys
 from pathlib import Path
 
+SRC_ROOT = Path("src")
 KERNEL_ROOT = Path("src/repro/kernels")
 SANCTIONED = "repro.util.rng"
 
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
 
-def check_source(path: str, text: str) -> list[tuple[str, int, str]]:
-    """Return ``(path, line, message)`` for every numpy.random use."""
-    try:
-        tree = ast.parse(text, filename=path)
-    except SyntaxError as exc:
-        return [(path, exc.lineno or 0, f"cannot parse: {exc.msg}")]
 
+def _check_numpy_random(path: str, tree: ast.AST) -> list[tuple[str, int, str]]:
+    """Kernel-only rule: no direct numpy.random use."""
     violations: list[tuple[str, int, str]] = []
     numpy_aliases: set[str] = set()
 
@@ -67,6 +74,50 @@ def check_source(path: str, text: str) -> list[tuple[str, int, str]]:
             violations.append((path, node.lineno,
                                f"calls {node.value.id}.random directly; "
                                f"use {SANCTIONED} instead"))
+    return violations
+
+
+def _check_mutable_defaults(path: str,
+                            tree: ast.AST) -> list[tuple[str, int, str]]:
+    """No list/dict/set literals (or comprehensions) as argument defaults."""
+    violations: list[tuple[str, int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + \
+            [d for d in node.args.kw_defaults if d is not None]
+        name = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if isinstance(default, _MUTABLE_LITERALS):
+                violations.append((
+                    path, default.lineno,
+                    f"mutable default argument in {name!r}; the instance "
+                    "is shared across calls — default to None and build "
+                    "inside the body"))
+    return violations
+
+
+def _check_bare_except(path: str, tree: ast.AST) -> list[tuple[str, int, str]]:
+    """No ``except:`` without an exception type."""
+    return [(path, node.lineno,
+             "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+             "name the exception type")
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None]
+
+
+def check_source(path: str, text: str) -> list[tuple[str, int, str]]:
+    """Return ``(path, line, message)`` for every rule violation in a file."""
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"cannot parse: {exc.msg}")]
+
+    violations = _check_mutable_defaults(path, tree)
+    violations += _check_bare_except(path, tree)
+    if KERNEL_ROOT in Path(path).parents:
+        violations += _check_numpy_random(path, tree)
     return sorted(violations, key=lambda v: v[1])
 
 
@@ -80,7 +131,7 @@ def check_tree(root: Path) -> list[tuple[str, int, str]]:
 def main(argv: list[str] | None = None) -> int:
     roots = [Path(p) for p in (argv if argv is not None else sys.argv[1:])]
     if not roots:
-        roots = [KERNEL_ROOT]
+        roots = [SRC_ROOT]
     missing = [r for r in roots if not r.exists()]
     if missing:
         print(f"check_repo_rules: no such directory: {missing[0]}",
