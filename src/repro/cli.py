@@ -17,6 +17,9 @@ its operational surface::
     python -m repro sweep-worker run /tmp/fleet/shard-001/manifest.json \
         --out /tmp/fleet/shard-001
     python -m repro sweep merge /tmp/fleet/shard-000 /tmp/fleet/shard-001
+    python -m repro sweep serve micro_mobilenet_v2 --shards 3 --port 8791
+    python -m repro sweep-worker run --coordinator http://127.0.0.1:8791
+    python -m repro sweep status http://127.0.0.1:8791
     python -m repro log show /tmp/sweep-logs/clean
     python -m repro profile micro_mobilenet_v2 --stage quantized \
         --resolver reference --device pixel4_cpu
@@ -43,7 +46,12 @@ portable shard manifests, executes each as an isolated shard artifact,
 and merges — with ``--plan-only`` it stops after writing the manifests so
 a fleet of ``sweep-worker`` processes (any machine) can execute them, and
 ``sweep merge <dir>...`` folds the resulting artifacts back into one
-fleet report. ``log show`` inspects any streamed or saved log directory
+fleet report. ``sweep serve`` runs the fleet *control plane*: an HTTP
+coordinator that leases those shard manifests to any ``sweep-worker run
+--coordinator URL`` process, digest-verifies uploaded artifacts before
+accepting them, and serves a live merged report; ``sweep status <url>``
+inspects (and with ``--finalize`` drains) a running coordinator.
+``log show`` inspects any streamed or saved log directory
 without materializing its tensors. ``profile`` prints the per-layer
 latency profile and straggler analysis on a simulated device.
 """
@@ -54,9 +62,18 @@ import argparse
 import json
 import sys
 import tempfile
+import threading
+import time
 from pathlib import Path
 
 from repro.analysis import SEVERITIES, analyze_graph, explain_rule, lint_graph
+from repro.fleet import (
+    CoordinatorClient,
+    SweepCoordinator,
+    make_server,
+    run_worker,
+    server_url,
+)
 from repro.graph import load_model, save_model
 from repro.instrument import DirectorySink, EXrayLog, MLEXray, log_digest
 from repro.perfmodel import DEVICES
@@ -207,23 +224,15 @@ def _write_report_json(report, path, out) -> None:
 def cmd_sweep(args, out) -> int:
     if args.model == "merge":
         return _sweep_merge(args, out)
+    if args.model == "serve":
+        return _sweep_serve(args, out)
+    if args.model == "status":
+        return _sweep_status(args, out)
     if args.shard_dirs:
         raise ValidationError(
             "positional shard directories are only valid with "
             "'repro sweep merge <dir>...'")
-    if args.variant:
-        # With the pre-flight on, field validation is deferred to it so a
-        # statically-broken spec becomes a skipped result with diagnostics
-        # instead of a parse error.
-        variants = [parse_variant_spec(spec, check=args.no_preflight)
-                    for spec in args.variant]
-    else:
-        entry = get_entry(args.model)
-        if entry.task not in ("classification", "detection", "segmentation"):
-            raise ValidationError(
-                f"no default variants for task {entry.task!r}; pass --variant "
-                "NAME[:key=value,...] explicitly")
-        variants = list(DEFAULT_IMAGE_VARIANTS)
+    variants = _build_lineup(args, args.model)
     if args.shards is not None:
         return _sweep_sharded(args, variants, out)
     if args.plan_only or args.out_dir:
@@ -260,6 +269,22 @@ def cmd_sweep(args, out) -> int:
     if args.report_json:
         _write_report_json(report, args.report_json, out)
     return 0 if report.healthy else 1
+
+
+def _build_lineup(args, model):
+    """The sweep lineup from --variant specs (or the task's default)."""
+    if args.variant:
+        # With the pre-flight on, field validation is deferred to it so a
+        # statically-broken spec becomes a skipped result with diagnostics
+        # instead of a parse error.
+        return [parse_variant_spec(spec, check=args.no_preflight)
+                for spec in args.variant]
+    entry = get_entry(model)
+    if entry.task not in ("classification", "detection", "segmentation"):
+        raise ValidationError(
+            f"no default variants for task {entry.task!r}; pass --variant "
+            "NAME[:key=value,...] explicitly")
+    return list(DEFAULT_IMAGE_VARIANTS)
 
 
 def _sweep_sharded(args, variants, out) -> int:
@@ -362,9 +387,166 @@ def _sweep_merge(args, out) -> int:
     return 0 if report.healthy else 1
 
 
+def _sweep_serve(args, out) -> int:
+    # `repro sweep serve MODEL --shards N [--port P]`: the fleet control
+    # plane. Plans the shard manifests, then serves the lease/upload/
+    # status/report HTTP API until interrupted (or, with --exit-when-done,
+    # until every shard artifact is verified).
+    if len(args.shard_dirs) != 1:
+        raise ValidationError(
+            "repro sweep serve needs exactly one model name: "
+            "repro sweep serve MODEL --shards N [--port P]")
+    model = args.shard_dirs[0]
+    if args.shards is None:
+        raise ValidationError("repro sweep serve needs --shards N")
+    if args.shards < 1:
+        raise ValidationError(f"--shards must be >= 1, got {args.shards}")
+    variants = _build_lineup(args, model)
+    if args.backends is not None:
+        variants = expand_backends(variants, args.backends)
+    workdir = Path(args.out_dir) if args.out_dir else \
+        Path(tempfile.mkdtemp(prefix="exray-fleet-"))
+    manifests = plan_shards(
+        model, variants, n_shards=args.shards, frames=args.frames,
+        always_assert=args.always_assert, check=args.no_preflight)
+    coordinator = SweepCoordinator(manifests, workdir, ttl_s=args.ttl_s)
+    server = make_server(coordinator, args.host, args.port)
+    url = server_url(server)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="fleet-coordinator", daemon=True)
+    thread.start()
+
+    rows = [(m.shard_id, len(m.variants),
+             " ".join(v.name for v in m.variants)) for m in manifests]
+    print(format_table(("shard", "variants", "lineup slice"), rows,
+                       title=f"fleet coordinator: {len(manifests)} shard(s) "
+                             f"under {workdir}"), file=out)
+    print(f"coordinator listening on {url} (lease ttl {args.ttl_s:g}s)",
+          file=out)
+    print(f"workers: repro sweep-worker run --coordinator {url}", file=out)
+    print(f"status:  repro sweep status {url}", file=out, flush=True)
+
+    last_counts = None
+    exit_code = 130
+    reported = False
+    try:
+        while True:
+            status = coordinator.status()
+            counts = tuple(sorted(status["counts"].items()))
+            if counts != last_counts:
+                last_counts = counts
+                line = ", ".join(f"{n} {state}" for state, n in counts)
+                print(f"[{status['uptime_s']:.1f}s] {line}", file=out,
+                      flush=True)
+            done = status["complete"] or status["finalized"]
+            if done and not reported:
+                # Print the merged report the moment the fleet settles, but
+                # keep serving /status and /report for late pollers; only
+                # --exit-when-done turns completion into shutdown (after a
+                # short grace so workers see 'complete' on their next
+                # lease poll instead of a dropped connection).
+                reported = True
+                report = coordinator.report(triage=args.triage)
+                print(report.render(verbose=args.verbose), file=out,
+                      flush=True)
+                print(f"shard artifacts under {workdir} (re-merge offline "
+                      f"with: repro sweep merge {workdir}/shards/*)",
+                      file=out, flush=True)
+                if args.report_json:
+                    _write_report_json(report, args.report_json, out)
+                exit_code = 0 if report.healthy else 1
+                if args.exit_when_done:
+                    time.sleep(1.0)
+                    break
+            time.sleep(0.3)
+    except KeyboardInterrupt:
+        print("interrupted; shutting down coordinator", file=out)
+    server.shutdown()
+    server.server_close()
+    return exit_code
+
+
+def _sweep_status(args, out) -> int:
+    # `repro sweep status <url>`: one status snapshot of a running
+    # coordinator. Exit 0 once the sweep is complete, 1 while in flight —
+    # so `until repro sweep status URL; do sleep 1; done` is a CI poll
+    # loop. --finalize drains the fleet; --report-json saves /report.
+    if len(args.shard_dirs) != 1:
+        raise ValidationError(
+            "repro sweep status needs exactly one coordinator URL: "
+            "repro sweep status http://HOST:PORT")
+    client = CoordinatorClient(args.shard_dirs[0])
+    if args.finalize:
+        doc = client.finalize()
+        lost = doc.get("lost", [])
+        print(f"finalized: {len(lost)} shard(s) marked lost", file=out)
+        for path in doc.get("remainder_manifests", []):
+            print(f"  remainder: repro sweep-worker run {path} "
+                  f"--out {Path(path).parent}", file=out)
+    status = client.status()
+    if args.json:
+        print(json.dumps(status, indent=2), file=out)
+    else:
+        rows = []
+        for shard in status["shards"]:
+            expires = shard["expires_in_s"]
+            rows.append((
+                shard["shard_id"], shard["state"],
+                shard["worker"] or "-",
+                f"{expires:.1f}s" if expires is not None else "-",
+                shard["times_lost"],
+                " ".join(shard["variants"]),
+            ))
+        counts = ", ".join(f"{n} {state}" for state, n
+                           in sorted(status["counts"].items()))
+        verdict = "complete" if status["complete"] else (
+            "finalized" if status["finalized"] else "in flight")
+        print(format_table(
+            ("shard", "state", "worker", "lease expires", "lost", "variants"),
+            rows,
+            title=f"fleet sweep: {status['model']} x {status['num_shards']} "
+                  f"shard(s), {verdict} ({counts}, "
+                  f"up {status['uptime_s']:.1f}s)"), file=out)
+    if args.report_json:
+        doc = client.report(triage=args.triage)
+        Path(args.report_json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report_json).write_text(json.dumps(doc, indent=2))
+        print(f"live merged report written to {args.report_json}", file=out)
+    return 0 if status["complete"] else 1
+
+
 def cmd_sweep_worker(args, out) -> int:
     # `repro sweep-worker run <manifest> --out <dir>`: the fleet worker
     # entrypoint — execute one shard manifest into a portable artifact.
+    # With --coordinator URL it instead runs the lease → run → upload loop
+    # against a `repro sweep serve` control plane until the sweep is done.
+    if args.coordinator:
+        if args.manifest or args.out:
+            raise ValidationError(
+                "--coordinator runs leased shards from the control plane; "
+                "it does not combine with a manifest path or --out (use "
+                "--out-root to keep local artifact copies)")
+
+        def on_event(kind, detail):
+            print(f"[{kind}] {detail}", file=out, flush=True)
+
+        summary = run_worker(
+            args.coordinator, name=args.name, out_root=args.out_root,
+            executor=args.executor, workers=args.workers,
+            poll_s=args.poll_s, on_event=on_event)
+        print(f"worker {summary.worker}: {len(summary.completed)} shard(s) "
+              f"uploaded, {len(summary.duplicates)} duplicate(s), "
+              f"{len(summary.failures)} failure(s); "
+              f"stopped: {summary.stop_reason}", file=out)
+        for failure in summary.failures:
+            print(f"  failed: {failure}", file=out)
+        return 0 if summary.ok else 1
+
+    if not args.manifest or not args.out:
+        raise ValidationError(
+            "repro sweep-worker run needs a manifest path and --out DIR "
+            "(offline mode), or --coordinator URL (fleet mode)")
+
     def progress(result, n_done, n_total):
         print(f"[{n_done}/{n_total}] {result.variant.name}: "
               f"{result.verdict()}", file=out, flush=True)
@@ -529,10 +711,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep", help="validate many deployment variants in parallel")
     p.add_argument("model",
-                   help="zoo model name, or the literal 'merge' to fold "
-                        "shard artifact directories into one fleet report")
-    p.add_argument("shard_dirs", nargs="*", metavar="SHARD_DIR",
-                   help="with 'merge': shard artifact directories to merge")
+                   help="zoo model name, or a fleet verb: 'merge' folds "
+                        "shard artifact directories into one report, "
+                        "'serve' runs the HTTP coordinator for a sharded "
+                        "sweep, 'status' inspects a running coordinator")
+    p.add_argument("shard_dirs", nargs="*", metavar="ARG",
+                   help="with 'merge': shard artifact directories; with "
+                        "'serve': the model name; with 'status': the "
+                        "coordinator URL")
     p.add_argument("--frames", type=int, default=16)
     p.add_argument("--variant", action="append", metavar="NAME[:k=v,...]",
                    help="a deployment variant (repeatable): preprocess "
@@ -593,16 +779,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the static pre-flight lint: statically-broken "
                         "variants raise instead of landing in the report "
                         "as skipped results with diagnostics")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="with 'serve': interface to bind (default "
+                        "127.0.0.1; 0.0.0.0 exposes the fleet API)")
+    p.add_argument("--port", type=int, default=0,
+                   help="with 'serve': TCP port for the coordinator "
+                        "(default 0 = pick a free port and print it)")
+    p.add_argument("--ttl-s", type=float, default=60.0, metavar="SEC",
+                   help="with 'serve': lease time-to-live; a leased shard "
+                        "whose worker stops heartbeating for this long "
+                        "returns to the pool (default 60)")
+    p.add_argument("--exit-when-done", action="store_true",
+                   help="with 'serve': shut the coordinator down once "
+                        "every shard artifact is verified (or the sweep "
+                        "is finalized) instead of serving until Ctrl-C")
+    p.add_argument("--json", action="store_true",
+                   help="with 'status': print the raw status JSON instead "
+                        "of the shard table")
+    p.add_argument("--finalize", action="store_true",
+                   help="with 'status': tell the coordinator to stop "
+                        "leasing, mark unfinished shards lost, and emit "
+                        "remainder manifests for their slices")
 
     p = sub.add_parser(
         "sweep-worker",
         help="fleet worker: execute one sweep shard manifest")
     wsub = p.add_subparsers(dest="worker_command", required=True)
     pw = wsub.add_parser(
-        "run", help="execute a shard manifest into a portable artifact")
-    pw.add_argument("manifest", help="path to a shard manifest.json")
-    pw.add_argument("--out", required=True, metavar="DIR",
-                    help="artifact directory (report.json, logs/, digests)")
+        "run", help="execute a shard manifest into a portable artifact, "
+                    "or drain a coordinator's lease pool")
+    pw.add_argument("manifest", nargs="?", default=None,
+                    help="path to a shard manifest.json (offline mode; "
+                         "omit with --coordinator)")
+    pw.add_argument("--out", default=None, metavar="DIR",
+                    help="artifact directory (report.json, logs/, digests); "
+                         "required in offline mode")
+    pw.add_argument("--coordinator", default=None, metavar="URL",
+                    help="fleet mode: lease shards from this `repro sweep "
+                         "serve` coordinator, upload each artifact, and "
+                         "loop until the sweep is complete")
+    pw.add_argument("--out-root", default=None, metavar="DIR",
+                    help="with --coordinator: keep each shard's artifact "
+                         "under DIR/<shard_id> instead of a temporary "
+                         "directory")
+    pw.add_argument("--name", default=None,
+                    help="with --coordinator: worker name shown in "
+                         "`repro sweep status` (default host-pid)")
+    pw.add_argument("--poll-s", type=float, default=1.0, metavar="SEC",
+                    help="with --coordinator: idle poll interval while "
+                         "every shard is leased elsewhere (default 1)")
     pw.add_argument("--executor", default="process", choices=EXECUTORS)
     pw.add_argument("--workers", type=int, default=None)
     pw.add_argument("--stream", action="store_true",

@@ -1,0 +1,41 @@
+"""Fleet sweep control plane: HTTP coordinator, worker loop, wire client.
+
+The subsystem that turns the portable sharded sweeps of
+:mod:`repro.validate.shard` into a running fleet service:
+:class:`SweepCoordinator` leases shard manifests over a stdlib HTTP API,
+digest-verifies uploaded artifacts before accepting them, and serves a
+live merged :class:`~repro.validate.reporting.SweepReport`;
+:func:`run_worker` is the matching lease → run → upload loop. CLI faces:
+``repro sweep serve``, ``repro sweep status``, and
+``repro sweep-worker run --coordinator``.
+"""
+
+from repro.fleet.client import (
+    CoordinatorClient,
+    FleetProtocolError,
+    FleetTransportError,
+    pack_artifact,
+    request_json,
+    unpack_artifact,
+)
+from repro.fleet.coordinator import (
+    SweepCoordinator,
+    make_server,
+    server_url,
+)
+from repro.fleet.worker import WorkerSummary, default_worker_name, run_worker
+
+__all__ = [
+    "CoordinatorClient",
+    "FleetProtocolError",
+    "FleetTransportError",
+    "pack_artifact",
+    "request_json",
+    "unpack_artifact",
+    "SweepCoordinator",
+    "make_server",
+    "server_url",
+    "WorkerSummary",
+    "default_worker_name",
+    "run_worker",
+]

@@ -43,8 +43,24 @@ def _dir_bytes(root: Path) -> int:
     return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
 
 
+HASH_CHUNK_BYTES = 1 << 20
+"""Fixed read size for digesting files.
+
+Digests stream file contents through the hash in chunks of this many
+bytes — never a whole-file read — so hashing a multi-gigabyte artifact
+upload holds one chunk resident. Pinned by a counting-reader regression
+test; raise it for throughput, but digests must stay byte-identical
+(chunking cannot change a SHA-256 over the same byte stream).
+"""
+
+
+def _open_for_hash(path: Path):
+    """Open one file for digesting (seam for bounded-read regression tests)."""
+    return path.open("rb")
+
+
 def _hash_file_contents(h, path: Path) -> None:
-    """Stream one file into a hash: a size prefix, then 1 MiB chunks.
+    """Stream one file into a hash: a size prefix, then fixed-size chunks.
 
     The explicit size prefix makes the multi-file framing unambiguous —
     without it, moving bytes across a file boundary (or into a path name)
@@ -54,8 +70,8 @@ def _hash_file_contents(h, path: Path) -> None:
     size = path.stat().st_size
     h.update(str(size).encode())
     h.update(b"\0")
-    with path.open("rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
+    with _open_for_hash(path) as handle:
+        for chunk in iter(lambda: handle.read(HASH_CHUNK_BYTES), b""):
             h.update(chunk)
 
 

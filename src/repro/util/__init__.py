@@ -13,6 +13,7 @@ from repro.util.errors import (
     ValidationError,
     AssertionFailure,
 )
+from repro.util.retry import backoff_delays, with_retries
 from repro.util.rng import derive_rng, stable_hash
 from repro.util.sizes import human_bytes, array_nbytes
 from repro.util.tabulate import format_table
@@ -25,6 +26,8 @@ __all__ = [
     "QuantizationError",
     "ValidationError",
     "AssertionFailure",
+    "backoff_delays",
+    "with_retries",
     "derive_rng",
     "stable_hash",
     "human_bytes",

@@ -129,6 +129,28 @@ def _load_artifact(shard_dir: Path, verify: bool) -> list[VariantResult]:
     return report.results
 
 
+def verify_artifact(shard_dir: str | Path) -> ShardManifest:
+    """Fully verify one shard artifact; returns its manifest when sound.
+
+    The single-artifact face of the checks :func:`merge_shards` runs per
+    shard — manifest readable, schema-compatible, and matching its
+    recorded digest; ``report.json`` present, parseable, and covered by a
+    digest index whose every entry matches the bytes on disk; every edge
+    log the report claims covered and matching its content digest. Raises
+    :class:`~repro.util.errors.ValidationError` naming the first defect.
+
+    This is the acceptance gate the fleet coordinator runs on every
+    uploaded artifact *before* the shard counts as done, so a corrupted
+    or tampered upload is rejected at the door instead of surfacing as a
+    merge failure hours later.
+    """
+    shard_dir = Path(shard_dir)
+    manifest = ShardManifest.load(shard_dir / MANIFEST_NAME)
+    _check_manifest_digest(shard_dir)
+    _load_artifact(shard_dir, verify=True)
+    return manifest
+
+
 def merge_shards(
     shard_dirs,
     *,
