@@ -54,12 +54,15 @@ from repro.analysis.diagnostics import (
     severity_rank,
 )
 from repro.analysis.liveness import (
+    VIEW_OPS,
     LiveRange,
     check_liveness_consistency,
     interference_graph,
     liveness_from_graph,
     liveness_from_plan,
+    merge_alias_ranges,
     peak_live_bytes,
+    view_alias_map,
 )
 from repro.analysis.preflight import preflight_lineup, preflight_variant
 from repro.analysis.registry import (
@@ -94,6 +97,7 @@ __all__ = [
     "SEVERITIES",
     "analyze_graph",
     "analyze_ranges",
+    "VIEW_OPS",
     "check_liveness_consistency",
     "default_input_ranges",
     "explain_rule",
@@ -102,9 +106,11 @@ __all__ = [
     "lint_graph",
     "liveness_from_graph",
     "liveness_from_plan",
+    "merge_alias_ranges",
     "make_diagnostic",
     "pack_arena",
     "peak_live_bytes",
+    "view_alias_map",
     "preflight_lineup",
     "preflight_variant",
     "register_rule",

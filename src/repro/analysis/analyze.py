@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 from repro.analysis.arena import ArenaLayout, pack_arena, verify_layout
 from repro.analysis.dataflow import Interval, analyze_ranges
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.liveness import liveness_from_graph, peak_live_bytes
+from repro.analysis.liveness import (
+    liveness_from_graph,
+    merge_alias_ranges,
+    peak_live_bytes,
+    view_alias_map,
+)
 from repro.graph.graph import Graph
 from repro.util.errors import ValidationError
 from repro.util.tabulate import format_table
@@ -211,7 +216,8 @@ def analyze_graph(
                       for name, iv in sorted(facts.accumulators.items())},
         contradictions=list(facts.contradictions),
         naive_bytes=sum(r.nbytes for r in live.values()),
-        peak_live_bytes=peak_live_bytes(live),
+        peak_live_bytes=peak_live_bytes(
+            merge_alias_ranges(live, view_alias_map(graph))),
     )
     if arena:
         layout = pack_arena(graph, batch=batch)

@@ -27,6 +27,15 @@ from dataclasses import dataclass
 
 from repro.graph.graph import Graph
 
+VIEW_OPS = frozenset({"reshape", "flatten"})
+"""Ops whose builtin executors return a numpy *view* of their input.
+
+A view shares its input's buffer byte-for-byte, so (a) the refcounted
+accounting must charge the base buffer once, not once per array object,
+and (b) a static arena may place the view in its input's slot — provided
+the liveness model merges the two ranges first (:func:`merge_alias_ranges`).
+"""
+
 
 @dataclass(frozen=True)
 class LiveRange:
@@ -97,6 +106,55 @@ def liveness_from_plan(plan, batch: int = 1) -> dict[str, LiveRange]:
         ranges[t] = LiveRange(tensor=t, start=born, end=died,
                               nbytes=graph.spec(t).nbytes(batch))
     return ranges
+
+
+def view_alias_map(
+    graph: Graph,
+    view_ops: frozenset[str] = VIEW_OPS,
+    eligible: set[str] | None = None,
+) -> dict[str, str]:
+    """Map each view-op output to the *materialized* tensor it aliases.
+
+    Alias chains (a reshape of a flatten) resolve transitively to the root:
+    every value in the returned map is a tensor that is itself produced by
+    a non-view op (or is a graph input), never another view. ``eligible``
+    optionally restricts the analysis to a set of node *names* — the plan
+    layer passes the nodes whose bound executors actually promise to return
+    views, so a custom (copying) ``reshape`` kernel is never aliased.
+    """
+    alias: dict[str, str] = {}
+    for node in graph.nodes:
+        if node.op not in view_ops:
+            continue
+        if len(node.inputs) != 1 or len(node.outputs) != 1:
+            continue
+        if eligible is not None and node.name not in eligible:
+            continue
+        src = node.inputs[0]
+        alias[node.outputs[0]] = alias.get(src, src)
+    return alias
+
+
+def merge_alias_ranges(
+    ranges: dict[str, LiveRange], alias_map: dict[str, str]
+) -> dict[str, LiveRange]:
+    """Collapse alias groups onto their root tensor's live range.
+
+    The root's range is widened to cover every view of it (the shared
+    buffer is resident as long as *any* member is live); the views
+    themselves are dropped. The result is the true resident-bytes model:
+    :func:`peak_live_bytes` over the merged ranges is what a correct
+    runtime actually holds in memory, while the unmerged ranges
+    double-count every view.
+    """
+    merged = {t: r for t, r in ranges.items() if t not in alias_map}
+    for t, root in alias_map.items():
+        r, v = merged.get(root), ranges.get(t)
+        if r is None or v is None:
+            continue
+        merged[root] = LiveRange(tensor=root, start=min(r.start, v.start),
+                                 end=max(r.end, v.end), nbytes=r.nbytes)
+    return merged
 
 
 def interference_graph(

@@ -101,9 +101,9 @@ def refcount_consistency(ctx: RuleContext) -> Iterator[Diagnostic]:
 def backend_fallbacks(ctx: RuleContext) -> Iterator[Diagnostic]:
     """An op the chosen backend does not accelerate falls back silently.
 
-    Backends that advertise a native op set (``resolver.batched_ops`` for
-    the batched backend) execute everything else through the generic
-    optimized kernels. That is correct but slow — exactly the
+    Backends that advertise native op sets (``resolver.batched_ops`` /
+    ``resolver.batched_quant_ops`` for the batched backend) execute
+    everything else through the generic optimized kernels. That is correct but slow — exactly the
     silently-unsupported-op deployment surprise the paper warns about — so
     each fallback is reported as a perf warning, not an error.
     """
@@ -111,12 +111,13 @@ def backend_fallbacks(ctx: RuleContext) -> Iterator[Diagnostic]:
     native = getattr(resolver, "batched_ops", None)
     if native is None:
         return  # backend has no declared native set; nothing to compare
+    native_quant = frozenset(getattr(resolver, "batched_quant_ops", ()) or ())
     backend = ctx.backend or type(resolver).__name__
     for node in ctx.graph.nodes:
         if node.op in _BRIDGE_OPS:
             continue  # domain bridges are infrastructure on every backend
         quantized = node_is_quantized(ctx.graph, node)
-        if quantized or node.op not in native:
+        if node.op not in (native_quant if quantized else native):
             domain = "quantized" if quantized else "float"
             yield ctx.diag(
                 f"op {node.op!r} (node {node.name!r}, {domain}) is not in "

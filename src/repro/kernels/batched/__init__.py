@@ -28,14 +28,27 @@ the batched backend can run too.
 """
 
 from repro.kernels.batched.conv import batched_conv2d, batched_depthwise_conv2d
-from repro.kernels.batched.executors import BATCHED_EXECUTORS, BATCHED_OPS
+from repro.kernels.batched.executors import (
+    BATCHED_EXECUTORS,
+    BATCHED_OPS,
+    BATCHED_QUANT_EXECUTORS,
+    BATCHED_QUANT_OPS,
+)
 from repro.kernels.batched.pool import batched_avg_pool2d, batched_max_pool2d
+from repro.kernels.batched.quantized import (
+    batched_qconv2d,
+    batched_qdepthwise_conv2d,
+)
 
 __all__ = [
     "BATCHED_EXECUTORS",
     "BATCHED_OPS",
+    "BATCHED_QUANT_EXECUTORS",
+    "BATCHED_QUANT_OPS",
     "batched_avg_pool2d",
     "batched_conv2d",
     "batched_depthwise_conv2d",
     "batched_max_pool2d",
+    "batched_qconv2d",
+    "batched_qdepthwise_conv2d",
 ]

@@ -23,6 +23,13 @@ from repro import kernels as K
 from repro.graph.node import Node
 from repro.kernels.batched.conv import batched_conv2d, batched_depthwise_conv2d
 from repro.kernels.batched.pool import batched_avg_pool2d, batched_max_pool2d
+from repro.kernels.batched.quantized import (
+    batched_qconv2d,
+    batched_qdepthwise_conv2d,
+)
+from repro.runtime.annotations import supports_out
+from repro.runtime.executors_quant import _in_params, _out_params
+from repro.runtime.executors_quant import dense as _builtin_qdense
 from repro.util.errors import GraphError
 
 
@@ -42,48 +49,80 @@ def _fused_inplace(node: Node, out: np.ndarray, key: str = "activation") -> np.n
             f"node {node.name!r}: unknown activation {fn!r}") from None
 
 
-def conv2d(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
-    out = batched_conv2d(
+def _usable_out(out: np.ndarray | None, shape: tuple,
+                dtype: np.dtype) -> np.ndarray | None:
+    if out is None or out.shape != tuple(shape) or out.dtype != dtype \
+            or not out.flags.c_contiguous:
+        return None
+    return out
+
+
+@supports_out
+def conv2d(node: Node, inputs: list[np.ndarray], ctx,
+           out: np.ndarray | None = None) -> np.ndarray:
+    res = batched_conv2d(
         inputs[0],
         node.weights["weights"],
         node.weights.get("bias"),
         stride=node.attrs.get("stride", 1),
         padding=node.attrs.get("padding", "same"),
+        out=out,
     )
-    return _fused_inplace(node, out)
+    return _fused_inplace(node, res)
 
 
-def depthwise_conv2d(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
-    out = batched_depthwise_conv2d(
+@supports_out
+def depthwise_conv2d(node: Node, inputs: list[np.ndarray], ctx,
+                     out: np.ndarray | None = None) -> np.ndarray:
+    res = batched_depthwise_conv2d(
         inputs[0],
         node.weights["weights"],
         node.weights.get("bias"),
         stride=node.attrs.get("stride", 1),
         padding=node.attrs.get("padding", "same"),
+        out=out,
     )
-    return _fused_inplace(node, out)
+    return _fused_inplace(node, res)
 
 
-def dense(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
+@supports_out
+def dense(node: Node, inputs: list[np.ndarray], ctx,
+          out: np.ndarray | None = None) -> np.ndarray:
     w = node.weights["weights"]
     x = inputs[0]
     if x.shape[-1] != w.shape[0]:
         raise GraphError(
             f"node {node.name!r}: dense input dim {x.shape[-1]} != "
             f"weight rows {w.shape[0]}")
-    out = x @ w
+    dst = _usable_out(out, x.shape[:-1] + (w.shape[1],), np.result_type(x, w))
+    if dst is not None:
+        res = np.matmul(x, w, out=dst)
+    else:
+        res = x @ w
     bias = node.weights.get("bias")
     if bias is not None:
-        out += bias
-    return _fused_inplace(node, out)
+        res += bias
+    return _fused_inplace(node, res)
 
 
-def add(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
-    return _fused_inplace(node, np.add(inputs[0], inputs[1]))
+@supports_out
+def add(node: Node, inputs: list[np.ndarray], ctx,
+        out: np.ndarray | None = None) -> np.ndarray:
+    a, b = inputs[0], inputs[1]
+    dst = _usable_out(out, np.broadcast_shapes(a.shape, b.shape),
+                      np.result_type(a, b))
+    return _fused_inplace(node, np.add(a, b, out=dst))
 
 
-def mul(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
-    return np.multiply(inputs[0], inputs[1])
+@supports_out
+def mul(node: Node, inputs: list[np.ndarray], ctx,
+        out: np.ndarray | None = None) -> np.ndarray:
+    # Applies the fused activation attr, exactly as ``add`` does — the
+    # seed silently dropped it here.
+    a, b = inputs[0], inputs[1]
+    dst = _usable_out(out, np.broadcast_shapes(a.shape, b.shape),
+                      np.result_type(a, b))
+    return _fused_inplace(node, np.multiply(a, b, out=dst))
 
 
 def avg_pool2d(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
@@ -104,6 +143,30 @@ def max_pool2d(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
     )
 
 
+def qconv2d(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
+    return batched_qconv2d(
+        inputs[0], _in_params(node, ctx),
+        node.weights["weights"], node.weight_quant["weights"],
+        node.weights.get("bias"), _out_params(node, ctx),
+        stride=node.attrs.get("stride", 1),
+        padding=node.attrs.get("padding", "same"),
+        activation=node.attrs.get("activation", "linear"),
+        bugs=ctx.bugs,
+    )
+
+
+def qdepthwise_conv2d(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
+    return batched_qdepthwise_conv2d(
+        inputs[0], _in_params(node, ctx),
+        node.weights["weights"], node.weight_quant["weights"],
+        node.weights.get("bias"), _out_params(node, ctx),
+        stride=node.attrs.get("stride", 1),
+        padding=node.attrs.get("padding", "same"),
+        activation=node.attrs.get("activation", "linear"),
+        bugs=ctx.bugs,
+    )
+
+
 BATCHED_EXECUTORS = {
     "conv2d": conv2d,
     "depthwise_conv2d": depthwise_conv2d,
@@ -117,3 +180,15 @@ BATCHED_EXECUTORS = {
 
 BATCHED_OPS = frozenset(BATCHED_EXECUTORS)
 """The backend's native op coverage (its capability surface)."""
+
+BATCHED_QUANT_EXECUTORS = {
+    "conv2d": qconv2d,
+    "depthwise_conv2d": qdepthwise_conv2d,
+    # The builtin quantized dense executor already runs one whole-batch
+    # centered GEMM; registering it here marks the op batched-native.
+    "dense": _builtin_qdense,
+}
+"""Quantized-domain executors the batched backend overrides, keyed by op."""
+
+BATCHED_QUANT_OPS = frozenset(BATCHED_QUANT_EXECUTORS)
+"""The backend's native quantized op coverage."""

@@ -1,0 +1,133 @@
+"""Batched int8 kernels: centered-GEMM fast paths for the quantized domain.
+
+The optimized quantized kernels are batch-correct but build an im2col patch
+tensor per conv/depthwise call; at deployment batch sizes that copy
+dominates. These kernels restructure the two hot ops the same way the
+batched float kernels do — 1x1 convolutions as one GEMM over flattened
+pixels, depthwise as a per-tap multiply-accumulate — on *centered* float64
+activations.
+
+Byte-identity argument: centered int8 activations and int8 weights are
+exact integers in float64, and every accumulator stays far below 2^53, so
+the arithmetic is exact and therefore independent of accumulation order.
+The tap loop, the flattened-pixel GEMM, and the im2col GEMM all compute the
+same integer sums; requantization then sees bit-identical accumulators and
+produces bit-identical int8 outputs. k>1 standard convolutions fall back to
+the optimized im2col kernel outright (one big GEMM still wins there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.batched.conv import _pad_spatial, _tap_view
+from repro.kernels.common import (
+    Padding,
+    conv_output_size,
+    normalize_stride,
+    resolve_padding,
+)
+from repro.kernels.quantized.bugs import NO_BUGS, KernelBugs
+from repro.kernels.quantized.optimized import _centered, qconv2d as _im2col_qconv2d
+from repro.kernels.quantized.requant import (
+    output_multiplier,
+    requantize,
+    wrap_to_bits,
+)
+from repro.quantize.params import QuantParams
+
+
+def batched_qconv2d(
+    x_q: np.ndarray,
+    in_params: QuantParams,
+    w_q: np.ndarray,
+    w_params: QuantParams,
+    bias_q: np.ndarray | None,
+    out_params: QuantParams,
+    stride: int | tuple[int, int] = 1,
+    padding: Padding = "same",
+    activation: str = "linear",
+    bugs: KernelBugs = NO_BUGS,
+) -> np.ndarray:
+    """Quantized 2-D convolution; 1x1 filters skip im2col entirely.
+
+    Centering before zero-padding is arithmetically identical to padding
+    with the input zero point, exactly as the optimized kernel does it.
+    """
+    kh, kw, cin, cout = w_q.shape
+    if kh != 1 or kw != 1:
+        return _im2col_qconv2d(
+            x_q, in_params, w_q, w_params, bias_q, out_params,
+            stride=stride, padding=padding, activation=activation, bugs=bugs)
+    sh, sw = normalize_stride(stride)
+    pad = resolve_padding(padding, x_q.shape[1], x_q.shape[2], 1, 1, sh, sw)
+    xc = _pad_spatial(_centered(x_q, in_params), pad)
+    n = xc.shape[0]
+    oh = conv_output_size(x_q.shape[1], 1, sh, pad[0])
+    ow = conv_output_size(x_q.shape[2], 1, sw, pad[1])
+    pixels = xc[:, ::sh, ::sw, :].reshape(n * oh * ow, cin)
+    acc = pixels @ w_q.astype(np.float64).reshape(cin, cout)
+    acc = acc.reshape(n, oh, ow, cout)
+    if bias_q is not None:
+        acc = acc + bias_q.astype(np.float64)
+    mult = output_multiplier(in_params, w_params, out_params)
+    return requantize(acc, mult, out_params, activation)
+
+
+def batched_qdepthwise_conv2d(
+    x_q: np.ndarray,
+    in_params: QuantParams,
+    w_q: np.ndarray,
+    w_params: QuantParams,
+    bias_q: np.ndarray | None,
+    out_params: QuantParams,
+    stride: int | tuple[int, int] = 1,
+    padding: Padding = "same",
+    activation: str = "linear",
+    bugs: KernelBugs = NO_BUGS,
+) -> np.ndarray:
+    """Quantized depthwise convolution as kh*kw centered multiply-adds.
+
+    The narrow-accumulator bug (:attr:`KernelBugs.dwconv_accumulator_bits`)
+    wraps the *fully accumulated* window sum before the bias add, exactly
+    as the optimized einsum kernel applies it — exact integer accumulation
+    makes the per-tap order immaterial.
+    """
+    kh, kw, c, mult_ch = w_q.shape
+    sh, sw = normalize_stride(stride)
+    pad = resolve_padding(padding, x_q.shape[1], x_q.shape[2], kh, kw, sh, sw)
+    xc = _pad_spatial(_centered(x_q, in_params), pad)
+    n = xc.shape[0]
+    oh = conv_output_size(x_q.shape[1], kh, sh, pad[0])
+    ow = conv_output_size(x_q.shape[2], kw, sw, pad[1])
+    wf = w_q.astype(np.float64)
+    if mult_ch == 1:
+        taps = wf[..., 0]  # (kh, kw, C): per-channel scalars per tap
+        acc = None
+        scratch = None
+        for i in range(kh):
+            for j in range(kw):
+                tap = _tap_view(xc, i, j, oh, ow, sh, sw)
+                if acc is None:
+                    acc = tap * taps[i, j]
+                    scratch = np.empty_like(acc)
+                else:
+                    np.multiply(tap, taps[i, j], out=scratch)
+                    acc += scratch
+    else:
+        acc = None
+        for i in range(kh):
+            for j in range(kw):
+                tap = _tap_view(xc, i, j, oh, ow, sh, sw)
+                term = tap[..., None] * wf[i, j]  # (N,oh,ow,C,mult)
+                if acc is None:
+                    acc = term
+                else:
+                    acc += term
+        acc = acc.reshape(n, oh, ow, c * mult_ch)
+    if bugs.dwconv_accumulator_bits is not None:
+        acc = wrap_to_bits(acc, bugs.dwconv_accumulator_bits)
+    if bias_q is not None:
+        acc = acc + bias_q.astype(np.float64)
+    mult = output_multiplier(in_params, w_params, out_params)
+    return requantize(acc, mult, out_params, activation)

@@ -23,11 +23,22 @@ def sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def pad2d(x: np.ndarray, paddings: tuple[tuple[int, int], tuple[int, int]],
-          value: float = 0.0) -> np.ndarray:
-    """Explicit spatial padding of an NHWC tensor (the TFLite ``Pad`` op)."""
+          value: float = 0.0, out: np.ndarray | None = None) -> np.ndarray:
+    """Explicit spatial padding of an NHWC tensor (the TFLite ``Pad`` op).
+
+    With ``out=`` (matching shape/dtype, C-contiguous), the border fill and
+    interior copy land directly in the destination — same values as the
+    ``np.pad`` path, one materialization instead of two.
+    """
     if x.ndim != 4:
         raise KernelError(f"pad2d expects NHWC input, got shape {x.shape}")
     (pt, pb), (pl, pr) = paddings
+    n, h, w, c = x.shape
+    if (out is not None and out.flags.c_contiguous and out.dtype == x.dtype
+            and out.shape == (n, h + pt + pb, w + pl + pr, c)):
+        out[...] = value
+        out[:, pt:pt + h, pl:pl + w, :] = x
+        return out
     return np.pad(
         x, ((0, 0), (pt, pb), (pl, pr), (0, 0)), mode="constant", constant_values=value
     )

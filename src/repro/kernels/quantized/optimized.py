@@ -238,9 +238,10 @@ def qmul(
     b_q: np.ndarray,
     b_params: QuantParams,
     out_params: QuantParams,
+    activation: str = "linear",
     bugs: KernelBugs = NO_BUGS,
 ) -> np.ndarray:
-    """Quantized elementwise multiply (SE gating)."""
+    """Quantized elementwise multiply (SE gating), with fused activation."""
     acc = (
         (a_q.astype(np.float64) - float(a_params.zero_point.item()))
         * (b_q.astype(np.float64) - float(b_params.zero_point.item()))
@@ -250,7 +251,7 @@ def qmul(
         * float(b_params.scale.item())
         / float(out_params.scale.item())
     )
-    return requantize(acc, np.float64(mult), out_params)
+    return requantize(acc, np.float64(mult), out_params, activation)
 
 
 def qpad2d(

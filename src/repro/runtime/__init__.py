@@ -1,5 +1,6 @@
 """The edge inference runtime: interpreter, compiled plans, op resolvers."""
 
+from repro.runtime.annotations import aliases_input, supports_out
 from repro.runtime.interpreter import (
     ExecContext,
     Interpreter,
@@ -7,8 +8,11 @@ from repro.runtime.interpreter import (
     node_is_quantized,
 )
 from repro.runtime.plan import (
+    CHAIN_OPS,
+    ExecUnit,
     ExecutionPlan,
     NodeBinding,
+    build_schedule,
     compile_plan,
     derive_bindings,
 )
@@ -29,7 +33,9 @@ __all__ = [
     "BackendDescriptor",
     "BaseOpResolver",
     "BatchedOpResolver",
+    "CHAIN_OPS",
     "ExecContext",
+    "ExecUnit",
     "ExecutionPlan",
     "Interpreter",
     "KERNEL_BUG_PRESETS",
@@ -38,10 +44,13 @@ __all__ = [
     "OpResolver",
     "RESOLVERS",
     "ReferenceOpResolver",
+    "aliases_input",
+    "build_schedule",
     "compile_plan",
     "derive_bindings",
     "make_resolver",
     "node_is_quantized",
     "register_resolver",
     "select_backend",
+    "supports_out",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 from repro import kernels as K
 from repro.graph.node import Node
 from repro.kernels.quantized.requant import apply_lut, build_lut, rescale_tensor
+from repro.runtime.annotations import aliases_input
 from repro.util.errors import GraphError
 
 
@@ -135,6 +136,7 @@ def mul(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
         inputs[0], _in_params(node, ctx, 0),
         inputs[1], _in_params(node, ctx, 1),
         _out_params(node, ctx),
+        activation=node.attrs.get("activation", "linear"),
         bugs=ctx.bugs,
     )
 
@@ -148,6 +150,7 @@ def concat(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
     return np.concatenate(rescaled, axis=node.attrs.get("axis", -1))
 
 
+@aliases_input
 def reshape(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
     shape = node.attrs["shape"]
     shape = tuple(inputs[0].shape[0] if d == -1 and i == 0 else d
@@ -155,6 +158,7 @@ def reshape(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
     return inputs[0].reshape(shape)
 
 
+@aliases_input
 def flatten(node: Node, inputs: list[np.ndarray], ctx) -> np.ndarray:
     return inputs[0].reshape(inputs[0].shape[0], -1)
 

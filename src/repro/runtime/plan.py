@@ -41,7 +41,12 @@ def node_is_quantized(graph: Graph, node: Node) -> bool:
 
 @dataclass(frozen=True)
 class NodeBinding:
-    """Everything invoke needs for one node, resolved at compile time."""
+    """Everything invoke needs for one node, resolved at compile time.
+
+    ``alias`` and ``out_aware`` mirror the bound executor's annotations
+    (:mod:`repro.runtime.annotations`): whether it returns a view of its
+    input, and whether it accepts a preallocated ``out=`` buffer.
+    """
 
     index: int
     node: Node
@@ -50,6 +55,8 @@ class NodeBinding:
     spec: TensorSpec                 # output tensor spec
     op_class: str                    # profile label (OP_CLASS, "other" default)
     latency_op_class: str            # latency-model class (OP_CLASS, "act" default)
+    alias: bool = False              # executor returns a view of an input
+    out_aware: bool = False          # executor accepts an out= buffer
 
 
 def derive_bindings(graph: Graph, resolver: BaseOpResolver) -> list[NodeBinding]:
@@ -62,16 +69,105 @@ def derive_bindings(graph: Graph, resolver: BaseOpResolver) -> list[NodeBinding]
     bindings = []
     for index, node in enumerate(graph.nodes):
         quantized = node_is_quantized(graph, node)
+        executor = resolver.lookup(node.op, quantized)
         bindings.append(NodeBinding(
             index=index,
             node=node,
-            executor=resolver.lookup(node.op, quantized),
+            executor=executor,
             quantized=quantized,
             spec=graph.spec(node.output),
             op_class=OP_CLASS.get(node.op, "other"),
             latency_op_class=OP_CLASS.get(node.op, "act"),
+            alias=bool(getattr(executor, "aliases_input", False)),
+            out_aware=bool(getattr(executor, "supports_out", False)),
         ))
     return bindings
+
+
+CHAIN_OPS = frozenset({"activation", "add", "mul"})
+"""Ops a fused chain may absorb as follow-on stages.
+
+Cheap elementwise transforms whose output shape/dtype equal their primary
+input's: the chain's stages run back-to-back on the head's output without
+the intermediate ever entering the value table (and, under an arena, in
+place in the final output's slot where that is exact).
+"""
+
+
+@dataclass(frozen=True)
+class ExecUnit:
+    """One schedule step: a head binding plus fused follow-on stages.
+
+    With fusion off every unit is a bare head. With fusion on, a unit's
+    stages are elementwise/activation bindings that each solely consume
+    their predecessor's output; intermediates are never materialized in
+    the interpreter's value table, but profile/observer records are still
+    emitted per logical binding so EXray logs are unchanged.
+    """
+
+    head: NodeBinding
+    stages: tuple[NodeBinding, ...]
+    output: str                      # the unit's final output tensor
+
+    @property
+    def bindings(self) -> tuple[NodeBinding, ...]:
+        return (self.head, *self.stages)
+
+
+def _chainable(prev: NodeBinding, cand: NodeBinding,
+               consumer_counts: dict[str, int], outputs: set[str]) -> bool:
+    node = cand.node
+    if node.op not in CHAIN_OPS or cand.alias:
+        return False
+    if len(node.outputs) != 1 or len(prev.node.outputs) != 1:
+        return False
+    pout = prev.node.outputs[0]
+    # The intermediate must be invisible outside the chain: not a graph
+    # output, and consumed exactly once — by this stage.
+    if pout in outputs or consumer_counts.get(pout, 0) != 1:
+        return False
+    if pout not in node.inputs:
+        return False
+    # Stages run on the head's buffer: shape and dtype must carry through.
+    if cand.spec.shape != prev.spec.shape or cand.spec.dtype != prev.spec.dtype:
+        return False
+    return True
+
+
+def build_schedule(graph: Graph, bindings: tuple[NodeBinding, ...] | list[NodeBinding],
+                   fuse: bool = False) -> tuple[ExecUnit, ...]:
+    """Group bindings into :class:`ExecUnit`\\ s, fusing eligible chains.
+
+    Fusion only ever groups *adjacent* bindings, so the logical execution
+    order (and therefore every observer/profile record sequence) is
+    exactly the unfused schedule's.
+    """
+    if not fuse:
+        return tuple(ExecUnit(head=b, stages=(), output=b.node.output)
+                     for b in bindings)
+    consumer_counts: dict[str, int] = {}
+    for node in graph.nodes:
+        for t in node.inputs:
+            consumer_counts[t] = consumer_counts.get(t, 0) + 1
+    outputs = set(graph.outputs)
+    units: list[ExecUnit] = []
+    i = 0
+    while i < len(bindings):
+        head = bindings[i]
+        stages: list[NodeBinding] = []
+        if not head.alias and len(head.node.outputs) == 1:
+            prev = head
+            j = i + 1
+            while j < len(bindings) and _chainable(
+                    prev, bindings[j], consumer_counts, outputs):
+                stages.append(bindings[j])
+                prev = bindings[j]
+                j += 1
+        tail = stages[-1] if stages else head
+        units.append(ExecUnit(head=head, stages=tuple(stages),
+                              output=tail.node.output))
+        i += 1 + len(stages)
+    return tuple(units)
 
 
 class ExecutionPlan:
@@ -102,7 +198,8 @@ class ExecutionPlan:
     """
 
     def __init__(self, graph: Graph, resolver: BaseOpResolver,
-                 arena: bool = False):
+                 arena: bool = False, fuse: bool = False,
+                 arena_batch: int = 1):
         self.graph = graph
         self.resolver = resolver
         self.resolver_version = resolver.version
@@ -120,10 +217,13 @@ class ExecutionPlan:
 
         self.bindings: tuple[NodeBinding, ...] = tuple(
             derive_bindings(graph, resolver))
+        self.fuse = bool(fuse)
+        self.schedule: tuple[ExecUnit, ...] = build_schedule(
+            graph, self.bindings, fuse=self.fuse)
         self._work_cache: dict[tuple[int, int], NodeWork] = {}
         self.arena = None
         if arena:
-            self.attach_arena()
+            self.attach_arena(batch=arena_batch)
 
     def attach_arena(self, batch: int = 1):
         """Pack a static arena layout for this plan and prove it sound.
@@ -164,12 +264,17 @@ class ExecutionPlan:
 
 
 def compile_plan(graph: Graph, resolver: BaseOpResolver,
-                 *, arena: bool = False) -> ExecutionPlan:
+                 *, arena: bool = False, fuse: bool = False,
+                 arena_batch: int = 1) -> ExecutionPlan:
     """Compile an execution plan for a validated graph and a resolver.
 
     With ``arena=True`` the plan also carries a verified static arena
     layout (``plan.arena``) assigning every activation tensor a byte
-    offset, for runtimes that preallocate one buffer instead of
-    refcounting.
+    offset, packed and proven at ``arena_batch`` — the interpreter serves
+    tensors straight out of the arena for invokes at that batch size and
+    falls back to refcounting otherwise. With ``fuse=True`` adjacent
+    elementwise/activation chains are grouped into single
+    :class:`ExecUnit`\\ s so intermediates never materialize.
     """
-    return ExecutionPlan(graph, resolver, arena=arena)
+    return ExecutionPlan(graph, resolver, arena=arena, fuse=fuse,
+                         arena_batch=arena_batch)

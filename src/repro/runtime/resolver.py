@@ -35,7 +35,12 @@ from types import ModuleType
 import numpy as np
 
 from repro.graph.node import Node
-from repro.kernels.batched import BATCHED_EXECUTORS, BATCHED_OPS
+from repro.kernels.batched import (
+    BATCHED_EXECUTORS,
+    BATCHED_OPS,
+    BATCHED_QUANT_EXECUTORS,
+    BATCHED_QUANT_OPS,
+)
 from repro.kernels.quantized import optimized as _qopt
 from repro.kernels.quantized import reference as _qref
 from repro.kernels.quantized.bugs import (
@@ -131,15 +136,17 @@ class BatchedOpResolver(OpResolver):
 
     Ops in :data:`~repro.kernels.batched.BATCHED_OPS` execute through
     :mod:`repro.kernels.batched` (whole-batch GEMM/tap-loop kernels with
-    in-place bias/activation fusion); every other (op, domain) pair —
-    including all quantized kernels — inherits the optimized executors, so
-    any graph the optimized backend runs, this backend runs too. That
-    per-op fallback is the analogue of a device-specific kernel library
-    shipping only the operators it accelerates.
+    in-place bias/activation fusion), and the quantized ops in
+    :data:`~repro.kernels.batched.BATCHED_QUANT_OPS` run the centered-GEMM
+    int8 fast paths; every other (op, domain) pair inherits the optimized
+    executors, so any graph the optimized backend runs, this backend runs
+    too. That per-op fallback is the analogue of a device-specific kernel
+    library shipping only the operators it accelerates.
     """
 
     kind = "batched"
     batched_ops = BATCHED_OPS
+    batched_quant_ops = BATCHED_QUANT_OPS
 
     def __init__(self, bugs: KernelBugs = NO_BUGS):
         super().__init__(bugs=bugs)
@@ -147,6 +154,8 @@ class BatchedOpResolver(OpResolver):
         # bindings, and version must stay 0 so fresh plans are never stale.
         for op, fn in BATCHED_EXECUTORS.items():
             self._registry[(op, False)] = fn
+        for op, fn in BATCHED_QUANT_EXECUTORS.items():
+            self._registry[(op, True)] = fn
 
 
 @dataclass(frozen=True)

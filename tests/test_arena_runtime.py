@@ -1,0 +1,441 @@
+"""Arena-backed fused execution: parity, aliasing, fusion, fallbacks.
+
+PR 10's runtime contract, pinned from every side:
+
+* **alias accounting** — reshape/flatten executors return *views*; the
+  refcounted arena charges each base buffer once, so peak resident bytes
+  match reality instead of double-counting every view;
+* **fused-activation consistency** — ``mul`` applies its fused activation
+  attr on every backend (builtin float, batched, quantized), byte-identical
+  across all of them;
+* **arena execution** — with a verified :class:`ArenaLayout` attached, the
+  interpreter serves tensors from preallocated static offsets and stays
+  byte-identical to both the refcount path and the uncompiled seed path,
+  zoo-wide, float and quantized, at every batch size;
+* **batch-mismatch fallback** — a layout packed at one batch never serves
+  another: the invoke falls back to refcounting (one warning, ever) and
+  remains byte-identical;
+* **compile-time fusion** — elementwise/activation chains collapse into
+  execution units, while observer/profile records stay per logical node so
+  EXray logs are unchanged;
+* **verifier skepticism** — ``verify_layout`` re-proves every alias claim
+  from the graph; a layout asserting a false alias is rejected, never
+  trusted.
+"""
+
+import warnings
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import pack_arena, verify_layout
+from repro.graph import GraphBuilder
+from repro.instrument import EdgeMLMonitor, EXrayLog
+from repro.runtime import (
+    BatchedOpResolver,
+    CHAIN_OPS,
+    Interpreter,
+    OpResolver,
+    ReferenceOpResolver,
+    compile_plan,
+)
+from repro.zoo import get_model, list_models
+
+# Models whose mobile stage cannot be fully-integer quantized (embedding /
+# resize / in-graph normalize ops); their quantized stage is skipped, the
+# float stages still run through the whole matrix.
+UNQUANTIZABLE = frozenset(
+    {"micro_bert", "nnlm_lite", "deeplab_lite", "effdet_lite"})
+
+
+def make_feeds(graph, batch, seed=0):
+    """Random feeds honouring each input's spec (int specs get ids)."""
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for name in graph.inputs:
+        spec = graph.spec(name)
+        shape = tuple(batch if d is None else d for d in spec.shape)
+        if spec.dtype.startswith("float"):
+            feeds[name] = rng.normal(size=shape).astype(spec.dtype)
+        else:
+            feeds[name] = rng.integers(0, 16, size=shape).astype(spec.dtype)
+    return feeds
+
+
+# ------------------------------------------------------- alias accounting
+
+class TestAliasAccounting:
+    def _flatten_graph(self, rng):
+        b = GraphBuilder("flatview")
+        x = b.input("input", (None, 4, 4, 8))
+        h = b.add("flatten", x, name="flat")
+        h = b.dense(h, rng.normal(size=(128, 10)).astype(np.float32),
+                    rng.normal(size=(10,)).astype(np.float32), name="logits")
+        b.mark_output(h)
+        return b.finish()
+
+    @pytest.mark.parametrize("use_plan", [False, True])
+    def test_view_not_double_counted(self, rng, use_plan):
+        # flatten returns a view of its input: true resident bytes while
+        # dense runs are input + logits, and nothing more. The old
+        # per-array accounting charged the flattened view again (and
+        # "freed" bytes that stayed resident through the view).
+        graph = self._flatten_graph(rng)
+        x = rng.normal(size=(2, 4, 4, 8)).astype(np.float32)
+        interp = Interpreter(graph, use_plan=use_plan)
+        out = interp.invoke(x)["logits"]
+        true_resident = x.nbytes + out.nbytes
+        assert interp.last_peak_activation_bytes == true_resident
+
+    def test_view_kept_alive_by_consumer(self, rng):
+        # Freeing the *input name* after flatten must not release the
+        # buffer the flattened view still references: the bytes stay
+        # charged until the last name dies.
+        graph = self._flatten_graph(rng)
+        x = rng.normal(size=(1, 4, 4, 8)).astype(np.float32)
+        interp = Interpreter(graph)
+        out = interp.invoke(x)["logits"]
+        # Peak below input+flat+logits (the double-count) but not below
+        # input+logits (the premature free).
+        assert interp.last_peak_activation_bytes >= x.nbytes + out.nbytes
+        assert interp.last_peak_activation_bytes < 2 * x.nbytes + out.nbytes
+
+
+# --------------------------------------------- fused activation on mul
+
+class TestMulFusedActivation:
+    def _mul_graph(self, activation):
+        b = GraphBuilder("mulact")
+        x = b.input("a", (None, 6, 6, 4))
+        y = b.input("b", (None, 6, 6, 4))
+        h = b.add("mul", [x, y], name="prod",
+                  attrs={"activation": activation})
+        b.mark_output(h)
+        return b.finish()
+
+    @pytest.mark.parametrize("activation", ["relu", "relu6"])
+    def test_float_backends_apply_and_agree(self, rng, activation):
+        graph = self._mul_graph(activation)
+        feeds = make_feeds(graph, 5)
+        ref = Interpreter(graph, ReferenceOpResolver()).invoke(feeds)["prod"]
+        # The activation actually fired (negative products exist pre-clip).
+        raw = feeds["a"] * feeds["b"]
+        assert (raw < 0).any() and (ref >= 0).all()
+        np.testing.assert_array_equal(
+            ref, np.clip(raw, 0.0, 6.0 if activation == "relu6" else None))
+        for resolver in (OpResolver(), BatchedOpResolver()):
+            got = Interpreter(graph, resolver).invoke(feeds)["prod"]
+            np.testing.assert_array_equal(ref, got)
+
+    def test_quantized_mul_applies_activation(self, small_cnn_quantized, rng):
+        # The quantized graph pins the end-to-end path; here we only need
+        # the executor not to drop the attr: a quantized mul with relu
+        # never emits below the zero-point's dequantized value.
+        from repro.kernels.quantized.optimized import qmul
+        from repro.quantize import QuantParams
+        a_p = QuantParams(scale=0.05, zero_point=0)
+        b_p = QuantParams(scale=0.04, zero_point=0)
+        o_p = QuantParams(scale=0.02, zero_point=10)
+        a_q = rng.integers(-100, 100, size=(2, 8)).astype(np.int8)
+        b_q = rng.integers(-100, 100, size=(2, 8)).astype(np.int8)
+        plain = qmul(a_q, a_p, b_q, b_p, o_p)
+        relu = qmul(a_q, a_p, b_q, b_p, o_p, activation="relu")
+        assert (plain < o_p.zero_point).any()
+        assert (relu >= o_p.zero_point).all()
+
+
+# --------------------------------------------------- batch-mismatch fallback
+
+class TestBatchMismatchFallback:
+    def test_fallback_identical_and_warns_once(self, small_cnn, rng):
+        x4 = rng.normal(size=(4, 8, 8, 3)).astype(np.float32)
+        x2 = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        seed = Interpreter(small_cnn, use_plan=False)
+        interp = Interpreter(small_cnn, arena=True, arena_batch=4)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = interp.invoke_single(x2)
+        assert interp.last_arena_status == "fallback:batch=2"
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1
+        assert "batch 4" in str(relevant[0].message)
+        np.testing.assert_array_equal(got, seed.invoke_single(x2))
+
+        # The warning fires once per interpreter, not once per invoke.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            interp.invoke_single(x2)
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+
+        # A matching batch still serves from the arena, byte-identically.
+        np.testing.assert_array_equal(
+            interp.invoke_single(x4), seed.invoke_single(x4))
+        assert interp.last_arena_status == "arena"
+
+    def test_layout_records_packed_batch(self, small_cnn):
+        plan = compile_plan(small_cnn, OpResolver(), arena=True,
+                            arena_batch=8)
+        assert plan.arena.batch == 8
+
+
+# ------------------------------------------------------- zoo parity matrix
+
+class TestZooParityMatrix:
+    @pytest.fixture(scope="class")
+    def stages(self):
+        cache = {}
+
+        def build(model, stage):
+            key = (model, stage)
+            if key not in cache:
+                cache[key] = get_model(model, stage)
+            return cache[key]
+
+        return build
+
+    @pytest.mark.parametrize("model", sorted(list_models()))
+    def test_paths_byte_identical(self, stages, model):
+        stage_names = ["mobile", "quantized"]
+        if model in UNQUANTIZABLE:
+            stage_names = ["mobile"]
+        for stage in stage_names:
+            graph = stages(model, stage)
+            for resolver_cls in (OpResolver, BatchedOpResolver):
+                for batch in (1, 4, 32):
+                    feeds = make_feeds(graph, batch)
+                    seed = Interpreter(graph, resolver_cls(),
+                                       use_plan=False).invoke(feeds)
+                    plan = Interpreter(graph, resolver_cls()).invoke(feeds)
+                    arena_interp = Interpreter(
+                        graph, resolver_cls(), arena=True, fuse=True,
+                        arena_batch=batch)
+                    arena = arena_interp.invoke(feeds)
+                    assert arena_interp.last_arena_status == "arena", \
+                        (model, stage, resolver_cls.__name__, batch)
+                    for t in seed:
+                        ctx = (model, stage, resolver_cls.__name__, batch, t)
+                        np.testing.assert_array_equal(
+                            seed[t], plan[t], err_msg=repr(ctx))
+                        np.testing.assert_array_equal(
+                            seed[t], arena[t], err_msg=repr(ctx))
+
+    @pytest.mark.parametrize("stage", ["mobile", "quantized"])
+    def test_exray_layer_schedule_unchanged(self, stages, stage):
+        # Fusion must be invisible to EXray: same layers, same order, same
+        # per-layer tensors, whether the runtime fused/arena'd or not.
+        graph = stages("micro_mobilenet_v1", stage)
+        feeds = make_feeds(graph, 4)
+        frames = {}
+        for label, kwargs in (
+                ("seed", {"use_plan": False}),
+                ("plan", {}),
+                ("arena", {"arena": True, "fuse": True, "arena_batch": 4})):
+            interp = Interpreter(graph, **kwargs)
+            monitor = EdgeMLMonitor(name=label, per_layer=True)
+            monitor.attach(interp)
+            with monitor.frame(interp):
+                interp.invoke(feeds)
+            frames[label] = EXrayLog.from_monitor(monitor).frames[0]
+        ref = frames["seed"]
+        assert list(ref.layer_ops) == [n.name for n in graph.nodes]
+        for label in ("plan", "arena"):
+            frame = frames[label]
+            assert list(frame.layer_ops) == list(ref.layer_ops), label
+            assert frame.layer_ops == ref.layer_ops, label
+            for key, tensor in ref.tensors.items():
+                np.testing.assert_array_equal(
+                    tensor, frame.tensors[key], err_msg=f"{label}:{key}")
+
+
+# --------------------------------------------------------------- fusion
+
+class TestFusion:
+    def test_schedule_covers_every_node_once(self, small_cnn):
+        plan = compile_plan(small_cnn, OpResolver(), fuse=True)
+        names = [b.node.name
+                 for unit in plan.schedule for b in unit.bindings]
+        assert names == [n.name for n in small_cnn.nodes]
+        # small_cnn carries a res_add -> relu tail: at least one real chain.
+        assert len(plan.schedule) < len(plan.bindings)
+        for unit in plan.schedule:
+            assert unit.output == unit.bindings[-1].node.output
+            for stage in unit.stages:
+                assert stage.node.op in CHAIN_OPS
+                assert not stage.alias
+
+    def test_unfused_schedule_is_bare(self, small_cnn):
+        plan = compile_plan(small_cnn, OpResolver())
+        assert len(plan.schedule) == len(plan.bindings)
+        assert all(not unit.stages for unit in plan.schedule)
+
+    def test_profile_still_per_logical_node(self, small_cnn, rng):
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        interp = Interpreter(small_cnn, arena=True, fuse=True, arena_batch=2)
+        interp.invoke(x)
+        assert [p["name"] for p in interp.last_profile] == \
+            [n.name for n in small_cnn.nodes]
+        assert all(p["output_bytes"] > 0 for p in interp.last_profile)
+
+
+# ------------------------------------------------------- arena runtime
+
+class TestArenaRuntime:
+    def test_outputs_survive_buffer_reuse(self, small_cnn, rng):
+        # Arena slots are recycled every invoke; returned outputs must be
+        # the caller's own copies, not views into the shared buffer.
+        interp = Interpreter(small_cnn, arena=True, arena_batch=1)
+        x1 = rng.normal(size=(1, 8, 8, 3)).astype(np.float32)
+        x2 = rng.normal(size=(1, 8, 8, 3)).astype(np.float32)
+        first = interp.invoke_single(x1)
+        snapshot = first.copy()
+        assert not np.shares_memory(first, interp._arena_cache.buffer)
+        second = interp.invoke_single(x2)
+        np.testing.assert_array_equal(first, snapshot)
+        assert not np.array_equal(first, second)
+
+    def test_observer_sees_stable_snapshots(self, small_cnn, rng):
+        # Arena slots are overwritten by later layers; records retained by
+        # an observer must hold each layer's output as it was emitted.
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        expected = {}
+        ref = Interpreter(small_cnn, use_plan=False)
+        ref.add_observer(
+            lambda r: expected.__setitem__(r.node.name, r.output.copy()))
+        ref.invoke(x)
+
+        records = []
+        interp = Interpreter(small_cnn, arena=True, fuse=True, arena_batch=2)
+        interp.add_observer(records.append)
+        interp.invoke(x)
+        assert [r.node.name for r in records] == list(expected)
+        for record in records:
+            np.testing.assert_array_equal(
+                record.output, expected[record.node.name],
+                err_msg=record.node.name)
+
+    def test_peak_bytes_is_arena_size(self, small_cnn, rng):
+        interp = Interpreter(small_cnn, arena=True, arena_batch=1)
+        interp.invoke_single(rng.normal(size=(1, 8, 8, 3)).astype(np.float32))
+        assert interp.last_arena_status == "arena"
+        assert interp.last_peak_activation_bytes == \
+            int(interp.plan.arena.arena_bytes)
+
+    def test_arena_buffer_reused_across_invokes(self, small_cnn, rng):
+        interp = Interpreter(small_cnn, arena=True, arena_batch=1)
+        x = rng.normal(size=(1, 8, 8, 3)).astype(np.float32)
+        interp.invoke_single(x)
+        state = interp._arena_cache
+        interp.invoke_single(x)
+        assert interp._arena_cache is state
+
+
+# --------------------------------------------------- verifier skepticism
+
+class TestVerifierAliasClaims:
+    def _flat_graph(self, rng):
+        b = GraphBuilder("flatzoo")
+        x = b.input("input", (None, 4, 4, 8))
+        h = b.conv2d(x, rng.normal(size=(1, 1, 8, 8)).astype(np.float32),
+                     activation="relu", name="pw")
+        h = b.add("flatten", h, name="flat")
+        h = b.dense(h, rng.normal(size=(128, 10)).astype(np.float32),
+                    name="logits")
+        b.mark_output(h)
+        return b.finish()
+
+    def test_true_alias_verifies(self, rng):
+        graph = self._flat_graph(rng)
+        layout = pack_arena(graph)
+        assert not verify_layout(graph, layout)
+        flat = layout.slot("flat")
+        assert flat.alias_of == "pw"
+        assert flat.offset == layout.slot("pw").offset
+
+    def test_false_alias_claim_rejected(self, rng):
+        # A layout asserting that a non-view tensor aliases another must
+        # be refused: the verifier re-derives aliasing from the graph and
+        # never trusts the document.
+        graph = self._flat_graph(rng)
+        layout = pack_arena(graph)
+        lying = replace(layout, slots=tuple(
+            replace(s, alias_of="input",
+                    offset=layout.slot("input").offset)
+            if s.tensor == "pw" else s
+            for s in layout.slots))
+        problems = verify_layout(graph, lying)
+        assert problems
+        assert any("alias" in p.message for p in problems)
+
+    def test_alias_of_alias_rejected(self, rng):
+        graph = self._flat_graph(rng)
+        layout = pack_arena(graph)
+        lying = replace(layout, slots=tuple(
+            replace(s, alias_of="flat") if s.tensor == "logits" else s
+            for s in layout.slots))
+        assert verify_layout(graph, lying)
+
+    def test_runtime_refuses_unverified_layout(self, small_cnn, monkeypatch):
+        # attach_arena re-verifies; a corrupted layout never reaches the
+        # interpreter.
+        import repro.analysis.arena as arena_mod
+        from repro.analysis.arena import corrupt_layout_for_test
+        from repro.util.errors import GraphError
+        real = arena_mod.pack_arena
+
+        def corrupted(graph, plan=None, batch=1):
+            return corrupt_layout_for_test(real(graph, plan, batch))
+
+        monkeypatch.setattr(arena_mod, "pack_arena", corrupted)
+        with pytest.raises(GraphError):
+            compile_plan(small_cnn, OpResolver(), arena=True)
+
+
+# ------------------------------------------------- repo rule: view returns
+
+class TestExecutorViewAnnotationRule:
+    def _check(self, source, filename="executors_fake.py"):
+        import importlib.util
+        spec = importlib.util.spec_from_file_location(
+            "check_repo_rules",
+            Path(__file__).resolve().parents[1] / "tools"
+            / "check_repo_rules.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.check_source(filename, source)
+
+    def test_unannotated_reshape_return_flagged(self):
+        violations = self._check(
+            "def reshape(node, inputs, ctx):\n"
+            "    (x,) = inputs\n"
+            "    return x.reshape(node.attrs['shape'])\n")
+        assert len(violations) == 1
+        assert "aliases_input" in violations[0][2]
+
+    def test_annotated_reshape_return_clean(self):
+        for decorator in ("@aliases_input",
+                          "@annotations.aliases_input"):
+            violations = self._check(
+                f"{decorator}\n"
+                "def flatten(node, inputs, ctx):\n"
+                "    (x,) = inputs\n"
+                "    return x.reshape((x.shape[0], -1))\n")
+            assert violations == [], decorator
+
+    def test_rule_scoped_to_executor_modules(self):
+        source = ("def helper(x, shape):\n"
+                  "    return x.reshape(shape)\n")
+        assert self._check(source, filename="executors_quant.py")
+        assert self._check(source, filename="kernels.py") == []
+
+    def test_real_executor_modules_clean(self):
+        root = Path(__file__).resolve().parents[1] / "src"
+        checked = 0
+        for path in sorted(root.rglob("executors*.py")):
+            checked += 1
+            assert self._check(path.read_text(), str(path)) == []
+        assert checked >= 3  # float, quant, batched

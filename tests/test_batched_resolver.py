@@ -21,6 +21,7 @@ from repro.graph import GraphBuilder
 from repro.kernels import avg_pool2d, conv2d, depthwise_conv2d, max_pool2d
 from repro.kernels.batched import (
     BATCHED_EXECUTORS,
+    BATCHED_QUANT_EXECUTORS,
     batched_avg_pool2d,
     batched_conv2d,
     batched_depthwise_conv2d,
@@ -97,8 +98,12 @@ class TestBatchedResolver:
         # Ops without a batched kernel resolve to the builtin executors.
         for op in ("softmax", "flatten", "batch_norm", "self_attention"):
             assert resolver.lookup(op, False) is FLOAT_EXECUTORS[op]
-        # The whole quantized domain falls back to the optimized kernels.
-        assert resolver.lookup("conv2d", True) is OpResolver().lookup("conv2d", True)
+        # Quantized hot ops rebind to the centered-GEMM batched executors...
+        for op, fn in BATCHED_QUANT_EXECUTORS.items():
+            assert resolver.lookup(op, True) is fn
+        # ...while the rest of the quantized domain falls back to optimized.
+        for op in ("add", "mul", "softmax", "avg_pool2d"):
+            assert resolver.lookup(op, True) is OpResolver().lookup(op, True)
         assert resolver.version == 0  # construction-time bindings, not register()
 
     def test_float_graph_outputs_close(self, small_cnn_mobile, rng):

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-level AST lint: conventions the test suite can't see.
 
-Three rules:
+Four rules:
 
 * **no-numpy-random** (kernel modules only): kernels must never reach into
   ``numpy.random`` directly.  Kernels are supposed to be pure array
@@ -16,6 +16,14 @@ Three rules:
 * **no-bare-except** (all of ``src/``): ``except:`` with no exception type
   swallows ``KeyboardInterrupt``/``SystemExit`` and hides real bugs; name
   the exception (at minimum ``except Exception:``).
+* **alias-annotation** (executor modules only, ``executors*.py``): a
+  top-level executor that returns ``something.reshape(...)`` hands the
+  runtime a *view* of its input.  The arena planner merges the slot of a
+  view op with its input's slot only when the executor is decorated with
+  ``@aliases_input``; an undecorated reshape-return silently double-counts
+  memory at best and, under an arena layout that was verified against the
+  declared aliases, corrupts data at worst.  Either decorate the executor
+  or materialize a copy.
 
 Stdlib only (``ast``) so CI can run it before any dependency install.
 
@@ -98,6 +106,46 @@ def _check_mutable_defaults(path: str,
     return violations
 
 
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _check_executor_view_annotations(
+        path: str, tree: ast.AST) -> list[tuple[str, int, str]]:
+    """Executor-only rule: reshape-returns must declare ``@aliases_input``.
+
+    Only *direct* ``return x.reshape(...)`` statements in top-level
+    functions are flagged — a reshape that feeds further computation
+    produces a fresh array downstream and never escapes as a view.
+    """
+    violations: list[tuple[str, int, str]] = []
+    body = tree.body if isinstance(tree, ast.Module) else []
+    for fn in body:
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if "aliases_input" in _decorator_names(fn):
+            continue
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "reshape"):
+                violations.append((
+                    path, node.lineno,
+                    f"executor {fn.name!r} returns a .reshape(...) view "
+                    "without an @aliases_input annotation; the runtime "
+                    "would double-count (or arena-corrupt) the buffer — "
+                    "decorate the executor or return a copy"))
+    return violations
+
+
 def _check_bare_except(path: str, tree: ast.AST) -> list[tuple[str, int, str]]:
     """No ``except:`` without an exception type."""
     return [(path, node.lineno,
@@ -118,6 +166,8 @@ def check_source(path: str, text: str) -> list[tuple[str, int, str]]:
     violations += _check_bare_except(path, tree)
     if KERNEL_ROOT in Path(path).parents:
         violations += _check_numpy_random(path, tree)
+    if Path(path).name.startswith("executors") and path.endswith(".py"):
+        violations += _check_executor_view_annotations(path, tree)
     return sorted(violations, key=lambda v: v[1])
 
 
